@@ -1,0 +1,221 @@
+//! The FST mesh firefly protocol.
+//!
+//! Slot loop identical in structure to the ST engine's sync phase, but
+//! with [`CouplingMode::Mesh`] from slot 0 and no tree machinery at all:
+//! no convergecasts, no RACH2 handshakes, no fragments. Message cost is
+//! therefore pure RACH1 fire traffic — but *convergence* must be won
+//! against the full mesh: every firing couples every audible receiver,
+//! and as the population grows in the fixed Table-I area, simultaneous
+//! fires of partially-synchronized groups collide and the capture
+//! margin decides who is heard. This is exactly the scalability wall
+//! the paper's Figs. 3–4 report for FST.
+
+use rand::Rng;
+
+use ffd2d_core::device::{CouplingMode, Device};
+use ffd2d_core::outcome::RunOutcome;
+use ffd2d_core::scenario::ScenarioConfig;
+use ffd2d_core::world::{FastMedium, World};
+use ffd2d_osc::prc::Prc;
+use ffd2d_osc::sync::phase_spread;
+use ffd2d_phy::frame::{FrameKind, ProximitySignal};
+use ffd2d_radio::units::Dbm;
+use ffd2d_sim::counters::Counters;
+use ffd2d_sim::deployment::DeviceId;
+use ffd2d_sim::rng::{StreamId, StreamRng};
+use ffd2d_sim::time::{Slot, SlotDuration};
+
+/// Fire transmissions are staggered over this many slots (same value as
+/// the ST engine, so the comparison is apples-to-apples).
+const FIRE_JITTER: u64 = 8;
+const FIRE_RING: usize = 16;
+const SYNC_CHECK_INTERVAL: u64 = 16;
+
+/// The mesh firefly baseline.
+pub struct FstProtocol;
+
+impl FstProtocol {
+    /// Run one trial of the scenario.
+    pub fn run(cfg: &ScenarioConfig) -> RunOutcome {
+        let world = World::new(cfg);
+        Self::run_in(&world)
+    }
+
+    /// Run one trial in a pre-built world (paired comparisons share the
+    /// world with the ST engine).
+    pub fn run_in(world: &World) -> RunOutcome {
+        let cfg = world.config();
+        let n = world.n();
+        let seed = cfg.sim.seed;
+        let prc = Prc::from_dissipation(cfg.protocol.dissipation, cfg.protocol.coupling);
+        let mut rng = StreamRng::new(seed, 0, StreamId::Protocol);
+        let mut phase_rng = StreamRng::new(seed, 0, StreamId::Phases);
+        let mut devices: Vec<Device> = (0..n as DeviceId)
+            .map(|id| {
+                let mut d = Device::new(
+                    id,
+                    n,
+                    phase_rng.gen_range(0.0..1.0),
+                    cfg.protocol.period_slots,
+                    cfg.protocol.refractory_slots,
+                    world.services()[id as usize],
+                );
+                d.coupling = CouplingMode::Mesh;
+                d
+            })
+            .collect();
+
+        let mut medium = FastMedium::new(n);
+        let mut counters = Counters::new();
+        let mut fire_queue: Vec<Vec<(DeviceId, u8)>> = vec![Vec::new(); FIRE_RING];
+        let mut phases = Vec::with_capacity(n);
+        let pathloss = cfg.channel.pathloss;
+        let tx_power = cfg.channel.tx_power;
+        let tol = 1.0 / cfg.protocol.period_slots as f64 + 1e-12;
+        let mut convergence: Option<u64> = None;
+
+        for s in 0..cfg.sim.max_slots.0 {
+            let slot = Slot(s);
+            // Tick and stagger natural fires.
+            for i in 0..n {
+                if devices[i].osc.tick() {
+                    let j = rng.gen_range(0..FIRE_JITTER);
+                    fire_queue[(s + j) as usize % FIRE_RING].push((i as DeviceId, j as u8));
+                }
+            }
+            let due = core::mem::take(&mut fire_queue[s as usize % FIRE_RING]);
+            if !due.is_empty() {
+                let pending: Vec<ProximitySignal> = due
+                    .iter()
+                    .map(|&(id, age)| ProximitySignal {
+                        sender: id,
+                        service: devices[id as usize].service,
+                        kind: FrameKind::Fire {
+                            fragment: id,
+                            age,
+                        },
+                    })
+                    .collect();
+                let mut absorbed: Vec<(DeviceId, u8)> = Vec::new();
+                medium.resolve(world, slot, &pending, &mut counters, |receiver, sig, rx_dbm| {
+                    if let FrameKind::Fire { fragment, age } = sig.kind {
+                        let dev = &mut devices[receiver as usize];
+                        dev.table.observe_fire(
+                            sig.sender,
+                            Dbm(rx_dbm),
+                            sig.service,
+                            fragment,
+                            slot,
+                            &pathloss,
+                            tx_power,
+                        );
+                        if dev.hear_fire_delayed(sig.sender, &prc, age as u32) {
+                            absorbed.push((receiver, age));
+                        }
+                    }
+                });
+                for (id, age) in absorbed {
+                    let j = rng.gen_range(1..FIRE_JITTER);
+                    fire_queue[(s + j) as usize % FIRE_RING]
+                        .push((id, age.saturating_add(j as u8)));
+                }
+            }
+
+            if s % SYNC_CHECK_INTERVAL == 0 && n > 0 {
+                phases.clear();
+                phases.extend(devices.iter().map(|d| d.osc.phase()));
+                if phase_spread(&phases) <= tol {
+                    convergence = Some(s);
+                    break;
+                }
+            }
+        }
+
+        let discovered_links: u64 = devices.iter().map(|d| d.table.discovered() as u64).sum();
+        let service_matches: u64 = devices
+            .iter()
+            .map(|d| d.table.service_matches(d.service).len() as u64)
+            .sum();
+        RunOutcome {
+            convergence_time: convergence.map(SlotDuration),
+            counters,
+            tree_edges: Vec::new(),
+            merge_rounds: 0,
+            discovered_links,
+            ground_truth_links: 2 * world.proximity_graph().m() as u64,
+            service_matches,
+            n_devices: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffd2d_core::StProtocol;
+
+    fn cfg(n: usize, seed: u64) -> ScenarioConfig {
+        ScenarioConfig::table1(n)
+            .seeded(seed)
+            .with_max_slots(SlotDuration(120_000))
+    }
+
+    #[test]
+    fn small_mesh_converges() {
+        let out = FstProtocol::run(&cfg(10, 1).ideal_channel());
+        assert!(out.converged(), "{out:?}");
+        assert!(out.tree_edges.is_empty());
+        assert_eq!(out.merge_rounds, 0);
+    }
+
+    #[test]
+    fn table1_scenario_converges() {
+        let out = FstProtocol::run(&cfg(50, 2));
+        assert!(out.converged(), "{out:?}");
+    }
+
+    #[test]
+    fn messages_are_pure_fire_traffic() {
+        let out = FstProtocol::run(&cfg(20, 3));
+        assert_eq!(out.counters.rach2_tx, 0);
+        assert_eq!(out.counters.unicast_tx, 0);
+        assert!(out.counters.rach1_tx > 0);
+        assert_eq!(out.messages(), out.counters.rach1_tx);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = FstProtocol::run(&cfg(15, 4));
+        let b = FstProtocol::run(&cfg(15, 4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn discovery_is_passive_and_bounded_by_convergence() {
+        // FST discovers only while it runs: the mesh often synchronizes
+        // within a few periods, so passive discovery stays partial —
+        // one of the trade-offs the ST method's explicit discovery
+        // phase avoids.
+        let out = FstProtocol::run(&cfg(30, 5));
+        let c = out.discovery_completeness();
+        assert!(c > 0.3, "completeness {c}");
+        assert!(out.service_matches > 0);
+    }
+
+    #[test]
+    fn fst_beats_st_on_messages_at_small_n() {
+        // Fig. 4's left side: below the crossover the tree machinery
+        // costs more messages than plain mesh firing.
+        let scenario = cfg(20, 6);
+        let world = World::new(&scenario);
+        let fst = FstProtocol::run_in(&world);
+        let st = StProtocol::run_in(&world);
+        assert!(fst.converged() && st.converged());
+        assert!(
+            fst.messages() < st.messages(),
+            "fst {} vs st {}",
+            fst.messages(),
+            st.messages()
+        );
+    }
+}

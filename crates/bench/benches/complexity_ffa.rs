@@ -1,0 +1,52 @@
+//! §V complexity bench — the O(n²) vs O(n log n) firefly update claim
+//! in wall time (the comparison-count version lives in
+//! `ffd2d-experiments::complexity`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use std::hint::black_box;
+
+use ffd2d_core::ffa::{ffa_naive, ffa_ranked, FfaConfig};
+use ffd2d_sim::rng::{StreamId, StreamRng};
+
+fn brightness(p: [f64; 2]) -> f64 {
+    -((p[0] - 50.0).powi(2) + (p[1] - 50.0).powi(2))
+}
+
+fn population(n: usize) -> Vec<[f64; 2]> {
+    let mut rng = StreamRng::new(0xBE, n as u64, StreamId::Experiment);
+    (0..n)
+        .map(|_| [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)])
+        .collect()
+}
+
+fn bench_ffa(c: &mut Criterion) {
+    let cfg = FfaConfig {
+        iterations: 2,
+        ..FfaConfig::default()
+    };
+    let mut group = c.benchmark_group("complexity_ffa");
+    group.sample_size(10);
+
+    for &n in &[100usize, 200, 400, 800] {
+        let base = population(n);
+        group.bench_with_input(BenchmarkId::new("naive", n), &base, |b, base| {
+            b.iter(|| {
+                let mut pop = base.clone();
+                let mut rng = StreamRng::new(1, 2, StreamId::Experiment);
+                black_box(ffa_naive(&mut pop, brightness, &cfg, &mut rng))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ranked", n), &base, |b, base| {
+            b.iter(|| {
+                let mut pop = base.clone();
+                let mut rng = StreamRng::new(1, 2, StreamId::Experiment);
+                black_box(ffa_ranked(&mut pop, brightness, &cfg, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ffa);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 3 bench — full protocol trials at paper scales.
+//!
+//! Criterion measures the wall time of one complete trial (world
+//! construction excluded; it is shared). The simulated convergence
+//! times that Fig. 3 actually plots are printed once per target so a
+//! bench run doubles as a smoke regeneration of the figure's left side;
+//! the full sweep lives in `cargo run --release --bin fig3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ffd2d_baseline::FstProtocol;
+use ffd2d_bench::bench_world;
+use ffd2d_core::StProtocol;
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_convergence");
+    group.sample_size(10);
+
+    for &n in &[50usize, 100, 200] {
+        let world = bench_world(n);
+        let st = StProtocol::run_in(&world);
+        let fst = FstProtocol::run_in(&world);
+        eprintln!(
+            "[fig3] n={n}: ST conv = {:?} ms, FST conv = {:?} ms",
+            st.convergence_time.map(|t| t.as_millis()),
+            fst.convergence_time.map(|t| t.as_millis()),
+        );
+        group.bench_with_input(BenchmarkId::new("st", n), &world, |b, w| {
+            b.iter(|| black_box(StProtocol::run_in(w)))
+        });
+        // The mesh baseline is only cheap below its collision wall;
+        // bench it where it still converges.
+        if n <= 100 {
+            group.bench_with_input(BenchmarkId::new("fst", n), &world, |b, w| {
+                b.iter(|| black_box(FstProtocol::run_in(w)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fig. 4 bench — message accounting of full trials.
+//!
+//! Measures the protocols with message tallying enabled (it always is —
+//! the tally is free) and prints the Fig. 4 metric per target: total
+//! control messages until convergence for ST vs FST. The message counts
+//! themselves are deterministic; Criterion guards the *cost* of
+//! producing them from regressing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ffd2d_baseline::FstProtocol;
+use ffd2d_bench::bench_world;
+use ffd2d_core::StProtocol;
+
+fn bench_messages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_messages");
+    group.sample_size(10);
+
+    for &n in &[50usize, 100] {
+        let world = bench_world(n);
+        let st = StProtocol::run_in(&world);
+        let fst = FstProtocol::run_in(&world);
+        eprintln!(
+            "[fig4] n={n}: ST msgs = {} (rach1 {}, rach2 {}, unicast {}), FST msgs = {}",
+            st.messages(),
+            st.counters.rach1_tx,
+            st.counters.rach2_tx,
+            st.counters.unicast_tx,
+            fst.messages()
+        );
+        group.bench_with_input(BenchmarkId::new("st_count", n), &world, |b, w| {
+            b.iter(|| black_box(StProtocol::run_in(w).messages()))
+        });
+        group.bench_with_input(BenchmarkId::new("fst_count", n), &world, |b, w| {
+            b.iter(|| black_box(FstProtocol::run_in(w).messages()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_messages);
+criterion_main!(benches);

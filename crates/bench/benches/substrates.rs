@@ -1,0 +1,122 @@
+//! Substrate micro-benchmarks: the hot paths every trial hammers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ffd2d_bench::bench_world;
+use ffd2d_core::world::FastMedium;
+use ffd2d_graph::adjacency::WeightedGraph;
+use ffd2d_graph::mst::{boruvka_max_st, kruskal_max_st, prim_max_st};
+use ffd2d_graph::weight::W;
+use ffd2d_phy::codec::ServiceClass;
+use ffd2d_phy::frame::{FrameKind, ProximitySignal};
+use ffd2d_phy::zadoffchu::ZcSequence;
+use ffd2d_sim::counters::Counters;
+use ffd2d_sim::rng::{StreamId, StreamRng};
+use ffd2d_sim::time::Slot;
+use rand::{Rng, RngCore};
+
+fn bench_channel(c: &mut Criterion) {
+    let world = bench_world(100);
+    c.bench_function("channel/rx_dbm", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let a = (i % 100) as u32;
+            let z = ((i * 7) % 100) as u32;
+            if a != z {
+                black_box(world.rx_dbm(a, z, Slot(i)));
+            }
+        })
+    });
+}
+
+fn bench_medium(c: &mut Criterion) {
+    let world = bench_world(200);
+    let mut medium = FastMedium::new(200);
+    let txs: Vec<ProximitySignal> = (0..4u32)
+        .map(|k| ProximitySignal {
+            sender: k * 37,
+            service: ServiceClass::KEEP_ALIVE,
+            kind: FrameKind::Fire {
+                fragment: k,
+                age: 0,
+            },
+        })
+        .collect();
+    c.bench_function("medium/resolve_4tx_200rx", |b| {
+        let mut counters = Counters::new();
+        let mut slot = 0u64;
+        b.iter(|| {
+            slot += 1;
+            medium.resolve(&world, Slot(slot), &txs, &mut counters, |r, s, p| {
+                black_box((r, s.sender, p));
+            });
+        })
+    });
+}
+
+fn random_graph(n: usize, seed: u64) -> WeightedGraph {
+    let mut rng = StreamRng::new(seed, 0, StreamId::Experiment);
+    let mut g = WeightedGraph::new(n);
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            if rng.gen_bool(0.5) {
+                g.add_edge(a, b, W::new(rng.gen_range(-120.0..0.0)));
+            }
+        }
+    }
+    g
+}
+
+fn bench_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst");
+    for &n in &[100usize, 300] {
+        let g = random_graph(n, 3);
+        group.bench_with_input(BenchmarkId::new("kruskal", n), &g, |b, g| {
+            b.iter(|| black_box(kruskal_max_st(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("prim", n), &g, |b, g| {
+            b.iter(|| black_box(prim_max_st(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("boruvka", n), &g, |b, g| {
+            b.iter(|| black_box(boruvka_max_st(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_zadoff_chu(c: &mut Criterion) {
+    let a = ZcSequence::new(129, 0, 839);
+    let b2 = ZcSequence::new(421, 0, 839);
+    c.bench_function("zc/correlate_839", |b| {
+        b.iter(|| black_box(a.correlate(&b2)))
+    });
+    c.bench_function("zc/generate_839", |b| {
+        b.iter(|| black_box(ZcSequence::new(129, 7, 839)))
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/stream_derivation", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(StreamRng::with_raw_stream(42, k, 3))
+        })
+    });
+    c.bench_function("rng/next_u64", |b| {
+        let mut rng = StreamRng::for_trial(1, 1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_channel,
+    bench_medium,
+    bench_mst,
+    bench_zadoff_chu,
+    bench_rng
+);
+criterion_main!(benches);

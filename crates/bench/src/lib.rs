@@ -1,0 +1,31 @@
+//! # ffd2d-bench — Criterion benchmarks
+//!
+//! One bench target per paper artefact plus substrate micro-benches:
+//!
+//! * `fig3_convergence` — wall time of full protocol trials (ST vs FST)
+//!   at paper scales; regenerating Fig. 3's underlying simulations.
+//! * `fig4_messages` — the same trials measured end-to-end with their
+//!   message tallies reported; regenerating Fig. 4's metric.
+//! * `complexity_ffa` — §V's O(n²) vs O(n log n) firefly update claim,
+//!   in wall time.
+//! * `substrates` — micro-benchmarks of the hot paths (channel
+//!   sampling, medium resolution, MST construction, Zadoff–Chu
+//!   correlation, RNG streams).
+//!
+//! Helpers here keep the bench targets small and consistent.
+
+use ffd2d_core::{ScenarioConfig, World};
+use ffd2d_sim::time::SlotDuration;
+
+/// A standard bench scenario: Table-I radio, `n` devices, fixed seed
+/// and a horizon that the protocols comfortably meet at bench scales.
+pub fn bench_scenario(n: usize) -> ScenarioConfig {
+    ScenarioConfig::table1(n)
+        .seeded(0xBE_5C)
+        .with_max_slots(SlotDuration(30_000))
+}
+
+/// A prebuilt world for the medium/channel micro-benches.
+pub fn bench_world(n: usize) -> World {
+    World::new(&bench_scenario(n))
+}

@@ -1,0 +1,343 @@
+//! Algorithm 3 — the firefly metaheuristic (F_F_A) and eq. (13).
+//!
+//! The paper layers Yang's firefly optimisation algorithm on top of the
+//! synchronization machinery: fireflies (devices) carry a position
+//! estimate, brightness is an objective `f(x)`, and dimmer fireflies
+//! move toward brighter ones with the location update of eq. (13):
+//!
+//! ```text
+//! x_i ← x_i + k·exp(−γ·r_ij²)·(x_j − x_i) + η·μ
+//! ```
+//!
+//! (`k` step toward the better solution, `γ` attraction coefficient,
+//! `η·μ` a Gaussian exploration term.)
+//!
+//! §V's complexity analysis contrasts two inner loops:
+//!
+//! * [`ffa_naive`] — the textbook double loop: every firefly compares
+//!   against every other (`O(n²)` brightness evaluations per sweep,
+//!   Algorithm 3 lines 7–12);
+//! * [`ffa_ranked`] — the paper's proposal: maintain the fireflies in an
+//!   ordered structure ([`BrightnessRanking`]), so each firefly finds
+//!   "a brighter firefly than itself" in `O(log n)`, moving toward its
+//!   next-brighter neighbour and the global best (`O(n log n)` per
+//!   sweep).
+//!
+//! Both optimise the same objective; the tests check they reach
+//! comparable solutions and that the counted comparison work separates
+//! asymptotically (the bench `fig_complexity` regenerates the paper's
+//! §V claim).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::ranking::BrightnessRanking;
+
+/// Parameters of eq. (13).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FfaConfig {
+    /// Attraction coefficient `γ` (light absorption Υ of Algorithm 3).
+    pub gamma: f64,
+    /// Step toward the better solution, `k`.
+    pub step: f64,
+    /// Exploration scale `η`.
+    pub eta: f64,
+    /// Sweeps over the population.
+    pub iterations: u32,
+}
+
+impl Default for FfaConfig {
+    fn default() -> Self {
+        FfaConfig {
+            // γ is scaled for arena-sized coordinates (tens of meters):
+            // exp(−γ·r²) stays ≈ 0.8 at r = 50 m, so distant brighter
+            // fireflies still attract.
+            gamma: 1e-4,
+            step: 0.5,
+            eta: 0.05,
+            iterations: 60,
+        }
+    }
+}
+
+/// Outcome of an FFA run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FfaResult {
+    /// Best position found.
+    pub best_position: [f64; 2],
+    /// Brightness of the best position.
+    pub best_brightness: f64,
+    /// Total pairwise brightness comparisons performed — the measured
+    /// quantity behind the paper's `O(n²)` vs `O(n log n)` claim.
+    pub comparisons: u64,
+    /// Total position updates applied.
+    pub moves: u64,
+}
+
+/// Apply eq. (13): move `xi` toward `xj`.
+#[inline]
+fn move_toward<R: Rng + ?Sized>(
+    xi: [f64; 2],
+    xj: [f64; 2],
+    cfg: &FfaConfig,
+    rng: &mut R,
+) -> [f64; 2] {
+    let r2 = (xj[0] - xi[0]).powi(2) + (xj[1] - xi[1]).powi(2);
+    let attract = cfg.step * (-cfg.gamma * r2).exp();
+    [
+        xi[0] + attract * (xj[0] - xi[0]) + cfg.eta * gaussian(rng),
+        xi[1] + attract * (xj[1] - xi[1]) + cfg.eta * gaussian(rng),
+    ]
+}
+
+/// One standard-normal draw (Box–Muller on two uniforms).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+}
+
+fn best_of<F: Fn([f64; 2]) -> f64>(positions: &[[f64; 2]], f: &F) -> ([f64; 2], f64) {
+    let mut best = positions[0];
+    let mut best_b = f(best);
+    for &p in &positions[1..] {
+        let b = f(p);
+        if b > best_b {
+            best = p;
+            best_b = b;
+        }
+    }
+    (best, best_b)
+}
+
+/// The textbook `O(n²)` firefly algorithm (Algorithm 3 as written:
+/// nested loops over all pairs).
+pub fn ffa_naive<F, R>(
+    positions: &mut [[f64; 2]],
+    objective: F,
+    cfg: &FfaConfig,
+    rng: &mut R,
+) -> FfaResult
+where
+    F: Fn([f64; 2]) -> f64,
+    R: Rng + ?Sized,
+{
+    assert!(!positions.is_empty(), "need at least one firefly");
+    let n = positions.len();
+    let mut comparisons = 0u64;
+    let mut moves = 0u64;
+    let mut brightness: Vec<f64> = positions.iter().map(|&p| objective(p)).collect();
+
+    for _ in 0..cfg.iterations {
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                comparisons += 1;
+                // "if I_j > I_i: move D_i toward D_j" (Algorithm 3).
+                if brightness[j] > brightness[i] {
+                    positions[i] = move_toward(positions[i], positions[j], cfg, rng);
+                    brightness[i] = objective(positions[i]);
+                    moves += 1;
+                }
+            }
+        }
+    }
+    let (best_position, best_brightness) = best_of(positions, &objective);
+    FfaResult {
+        best_position,
+        best_brightness,
+        comparisons,
+        moves,
+    }
+}
+
+/// The paper's rank-ordered variant: sort the population once per sweep
+/// (`O(n log n)`), then each firefly moves toward its next-brighter
+/// neighbour in the order and toward the global best — `O(1)` moves per
+/// firefly, `O(log n)` search work, no `O(n)` inner scan.
+pub fn ffa_ranked<F, R>(
+    positions: &mut [[f64; 2]],
+    objective: F,
+    cfg: &FfaConfig,
+    rng: &mut R,
+) -> FfaResult
+where
+    F: Fn([f64; 2]) -> f64,
+    R: Rng + ?Sized,
+{
+    assert!(!positions.is_empty(), "need at least one firefly");
+    let n = positions.len();
+    let mut comparisons = 0u64;
+    let mut moves = 0u64;
+    let mut brightness: Vec<f64> = positions.iter().map(|&p| objective(p)).collect();
+
+    for _ in 0..cfg.iterations {
+        let ranking = BrightnessRanking::build(&brightness);
+        // Account the sort as n·log2(n) comparisons (what the paper's
+        // "sorting algorithm [23]" costs per sweep).
+        let log2n = (usize::BITS - n.leading_zeros()).max(1) as u64;
+        comparisons += n as u64 * log2n;
+        let global_best = ranking.brightest().expect("non-empty population");
+
+        for i in 0..n as u32 {
+            // O(log n)-style search for a brighter firefly.
+            let mut search_cmps = 0u64;
+            let _ = ranking.search_rank(brightness[i as usize], &mut search_cmps);
+            comparisons += search_cmps;
+            if let Some(j) = ranking.next_brighter(i) {
+                positions[i as usize] =
+                    move_toward(positions[i as usize], positions[j as usize], cfg, rng);
+                moves += 1;
+                if j != global_best {
+                    positions[i as usize] = move_toward(
+                        positions[i as usize],
+                        positions[global_best as usize],
+                        cfg,
+                        rng,
+                    );
+                    moves += 1;
+                }
+                brightness[i as usize] = objective(positions[i as usize]);
+            }
+        }
+    }
+    let (best_position, best_brightness) = best_of(positions, &objective);
+    FfaResult {
+        best_position,
+        best_brightness,
+        comparisons,
+        moves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    type Rng64 = ffd2d_sim::rng::Xoshiro256StarStar;
+
+    /// Maximise the negative sphere: optimum at (3, −2).
+    fn sphere(p: [f64; 2]) -> f64 {
+        -((p[0] - 3.0).powi(2) + (p[1] + 2.0).powi(2))
+    }
+
+    fn population(n: usize, seed: u64) -> Vec<[f64; 2]> {
+        use rand::Rng;
+        let mut rng = Rng64::seed_from_u64(seed);
+        (0..n)
+            .map(|_| [rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)])
+            .collect()
+    }
+
+    #[test]
+    fn naive_converges_toward_optimum() {
+        let mut pop = population(30, 1);
+        let mut rng = Rng64::seed_from_u64(2);
+        let res = ffa_naive(&mut pop, sphere, &FfaConfig::default(), &mut rng);
+        assert!(
+            res.best_brightness > -2.0,
+            "best {:?} brightness {}",
+            res.best_position,
+            res.best_brightness
+        );
+        assert!(res.moves > 0);
+    }
+
+    #[test]
+    fn ranked_converges_toward_optimum() {
+        let mut pop = population(30, 1);
+        let mut rng = Rng64::seed_from_u64(2);
+        let res = ffa_ranked(&mut pop, sphere, &FfaConfig::default(), &mut rng);
+        assert!(
+            res.best_brightness > -2.0,
+            "best {:?} brightness {}",
+            res.best_position,
+            res.best_brightness
+        );
+    }
+
+    #[test]
+    fn comparison_counts_separate_asymptotically() {
+        // The measured §V claim: naive grows ~n², ranked ~n log n.
+        let cfg = FfaConfig {
+            iterations: 3,
+            ..FfaConfig::default()
+        };
+        let count = |n: usize, ranked: bool| -> u64 {
+            let mut pop = population(n, 5);
+            let mut rng = Rng64::seed_from_u64(6);
+            if ranked {
+                ffa_ranked(&mut pop, sphere, &cfg, &mut rng).comparisons
+            } else {
+                ffa_naive(&mut pop, sphere, &cfg, &mut rng).comparisons
+            }
+        };
+        let (naive_200, naive_800) = (count(200, false), count(800, false));
+        let (ranked_200, ranked_800) = (count(200, true), count(800, true));
+        // Naive: 4× population → ~16× comparisons.
+        let naive_ratio = naive_800 as f64 / naive_200 as f64;
+        assert!(
+            naive_ratio > 12.0,
+            "naive ratio {naive_ratio} not quadratic"
+        );
+        // Ranked: 4× population → a bit over 4× (n log n).
+        let ranked_ratio = ranked_800 as f64 / ranked_200 as f64;
+        assert!(
+            ranked_ratio < 6.5,
+            "ranked ratio {ranked_ratio} not n log n"
+        );
+        // And ranked does far less total work at n = 800.
+        assert!(ranked_800 * 10 < naive_800);
+    }
+
+    #[test]
+    fn results_are_deterministic_per_seed() {
+        let run = || {
+            let mut pop = population(20, 9);
+            let mut rng = Rng64::seed_from_u64(10);
+            ffa_ranked(&mut pop, sphere, &FfaConfig::default(), &mut rng)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn eq13_pulls_toward_brighter() {
+        // With η = 0 the move is a pure contraction toward x_j.
+        let cfg = FfaConfig {
+            eta: 0.0,
+            step: 0.5,
+            gamma: 0.0,
+            iterations: 1,
+        };
+        let mut rng = Rng64::seed_from_u64(1);
+        let moved = move_toward([0.0, 0.0], [10.0, 0.0], &cfg, &mut rng);
+        assert!((moved[0] - 5.0).abs() < 1e-12);
+        assert_eq!(moved[1], 0.0);
+    }
+
+    #[test]
+    fn attraction_decays_with_distance() {
+        // γ > 0: a distant brighter firefly attracts less (eq. (13)'s
+        // exp(−γ r²) factor).
+        let cfg = FfaConfig {
+            eta: 0.0,
+            step: 0.5,
+            gamma: 0.1,
+            iterations: 1,
+        };
+        let mut rng = Rng64::seed_from_u64(1);
+        let near = move_toward([0.0, 0.0], [1.0, 0.0], &cfg, &mut rng)[0] / 1.0;
+        let far = move_toward([0.0, 0.0], [10.0, 0.0], &cfg, &mut rng)[0] / 10.0;
+        assert!(near > far, "near pull {near} vs far pull {far}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one firefly")]
+    fn empty_population_rejected() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let _ = ffa_naive(&mut [], sphere, &FfaConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,112 @@
+//! Measured outcome of one protocol run.
+//!
+//! [`RunOutcome`] is the common currency between the protocol engines
+//! (ST here, FST in `ffd2d-baseline`) and the experiment harness: the
+//! two quantities the paper plots (convergence time for Fig. 3, message
+//! exchanges for Fig. 4) plus the diagnostics the tests and ablations
+//! assert on.
+
+use serde::{Deserialize, Serialize};
+
+use ffd2d_sim::counters::Counters;
+use ffd2d_sim::deployment::DeviceId;
+use ffd2d_sim::time::SlotDuration;
+
+/// What one trial produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Slots from trial start until every device fired in one slot
+    /// (`None` = horizon reached without convergence).
+    pub convergence_time: Option<SlotDuration>,
+    /// Transmission/reception tallies (Fig. 4 plots `total_tx`).
+    pub counters: Counters,
+    /// Accepted spanning-tree edges (empty for the mesh baseline).
+    pub tree_edges: Vec<(DeviceId, DeviceId)>,
+    /// Merge rounds executed (0 for the baseline).
+    pub merge_rounds: u32,
+    /// Directed neighbour-table entries established during the run.
+    pub discovered_links: u64,
+    /// Directed ground-truth audible links (denominator for discovery
+    /// completeness).
+    pub ground_truth_links: u64,
+    /// Directed same-service neighbour pairs discovered.
+    pub service_matches: u64,
+    /// Devices in the trial.
+    pub n_devices: usize,
+}
+
+impl RunOutcome {
+    /// Did the trial converge within the horizon?
+    pub fn converged(&self) -> bool {
+        self.convergence_time.is_some()
+    }
+
+    /// Convergence time in slots, with the horizon substituted when the
+    /// trial did not converge — the censored metric plotted in Fig. 3.
+    pub fn time_or(&self, horizon: SlotDuration) -> SlotDuration {
+        self.convergence_time.unwrap_or(horizon)
+    }
+
+    /// Fraction of ground-truth audible links discovered (`1.0` when
+    /// there were none to discover).
+    pub fn discovery_completeness(&self) -> f64 {
+        if self.ground_truth_links == 0 {
+            1.0
+        } else {
+            self.discovered_links as f64 / self.ground_truth_links as f64
+        }
+    }
+
+    /// Total control messages transmitted (the Fig. 4 metric).
+    pub fn messages(&self) -> u64 {
+        self.counters.total_tx()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(time: Option<u64>) -> RunOutcome {
+        RunOutcome {
+            convergence_time: time.map(SlotDuration),
+            counters: Counters::new(),
+            tree_edges: vec![],
+            merge_rounds: 0,
+            discovered_links: 30,
+            ground_truth_links: 40,
+            service_matches: 3,
+            n_devices: 10,
+        }
+    }
+
+    #[test]
+    fn convergence_flags() {
+        assert!(outcome(Some(500)).converged());
+        assert!(!outcome(None).converged());
+    }
+
+    #[test]
+    fn censored_time() {
+        let horizon = SlotDuration(99_999);
+        assert_eq!(outcome(Some(500)).time_or(horizon), SlotDuration(500));
+        assert_eq!(outcome(None).time_or(horizon), horizon);
+    }
+
+    #[test]
+    fn completeness_ratio() {
+        assert!((outcome(None).discovery_completeness() - 0.75).abs() < 1e-12);
+        let mut o = outcome(None);
+        o.ground_truth_links = 0;
+        assert_eq!(o.discovery_completeness(), 1.0);
+    }
+
+    #[test]
+    fn messages_mirror_counters() {
+        let mut o = outcome(Some(1));
+        o.counters.rach1_tx = 5;
+        o.counters.rach2_tx = 2;
+        o.counters.unicast_tx = 3;
+        assert_eq!(o.messages(), 10);
+    }
+}

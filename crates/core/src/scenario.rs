@@ -1,0 +1,199 @@
+//! Scenario configuration — the full Table I plus protocol knobs.
+//!
+//! A [`ScenarioConfig`] assembles the three configuration layers of the
+//! workspace: deployment ([`SimConfig`]), radio ([`ChannelConfig`]) and
+//! the protocol parameters of §III–IV ([`ProtocolConfig`]). The
+//! defaults reproduce the paper's Table I exactly; the builders cover
+//! the sweeps of Figs. 3–4 and the ablations.
+
+use serde::{Deserialize, Serialize};
+
+use ffd2d_phy::codec::ServiceClass;
+use ffd2d_radio::channel::ChannelConfig;
+use ffd2d_sim::config::SimConfig;
+use ffd2d_sim::time::SlotDuration;
+
+/// Protocol parameters (§III–IV).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Oscillator natural period `T` in slots (eq. (3)).
+    pub period_slots: u32,
+    /// Post-fire refractory (deaf) window in slots.
+    pub refractory_slots: u32,
+    /// Dissipation factor `a` of eq. (5).
+    pub dissipation: f64,
+    /// Pulse coupling strength `ε` of eq. (5).
+    pub coupling: f64,
+    /// Discovery phase length, in oscillator periods: devices free-run
+    /// and listen before the first merge round.
+    pub discovery_periods: u32,
+    /// RACH2 handshake contention window, in slots (Algorithm 2's
+    /// broadcast/await loop).
+    pub handshake_window: u32,
+    /// Handshake retries within one merge round before the fragment
+    /// skips the round.
+    pub handshake_retries: u32,
+    /// Number of distinct service interests assigned uniformly to
+    /// devices (application-level discovery).
+    pub service_classes: u8,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            period_slots: 100,
+            refractory_slots: 12,
+            dissipation: 3.0,
+            coupling: 0.1,
+            discovery_periods: 3,
+            handshake_window: 16,
+            handshake_retries: 3,
+            service_classes: 4,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// Validate invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.period_slots == 0 {
+            return Err("period must be positive".into());
+        }
+        if self.refractory_slots >= self.period_slots {
+            return Err("refractory must be shorter than the period".into());
+        }
+        if self.dissipation <= 0.0 || self.coupling <= 0.0 {
+            return Err("PRC requires a > 0 and ε > 0 (Mirollo–Strogatz)".into());
+        }
+        if self.discovery_periods == 0 {
+            return Err("need at least one discovery period".into());
+        }
+        if self.handshake_window == 0 {
+            return Err("handshake window must be positive".into());
+        }
+        if self.service_classes == 0 || self.service_classes > ServiceClass::COUNT {
+            return Err(format!(
+                "service classes must be in 1..={}",
+                ServiceClass::COUNT
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A complete experiment scenario.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Deployment layer (devices, area, horizon, master seed).
+    pub sim: SimConfig,
+    /// Radio layer (powers, path loss, shadowing, fading).
+    pub channel: ChannelConfig,
+    /// Protocol layer (oscillator, PRC, merge machinery).
+    pub protocol: ProtocolConfig,
+}
+
+impl ScenarioConfig {
+    /// The paper's Table I with `n` devices in the fixed
+    /// 100 m × 100 m area (the Figs. 3–4 sweep keeps the area and scales
+    /// the population).
+    pub fn table1(n: usize) -> ScenarioConfig {
+        ScenarioConfig {
+            sim: SimConfig::with_devices(n),
+            channel: ChannelConfig::default(),
+            protocol: ProtocolConfig::default(),
+        }
+    }
+
+    /// Builder: override the master seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// Builder: override the simulation horizon.
+    pub fn with_max_slots(mut self, max: SlotDuration) -> Self {
+        self.sim.max_slots = max;
+        self
+    }
+
+    /// Builder: idealise the channel (no shadowing, no fading) —
+    /// used by tests and complexity benches.
+    pub fn ideal_channel(mut self) -> Self {
+        self.channel = ChannelConfig::ideal();
+        self
+    }
+
+    /// Builder: override shadowing σ (ablation A1).
+    pub fn with_shadowing(mut self, sigma_db: f64) -> Self {
+        self.channel.shadowing_sigma_db = sigma_db;
+        self
+    }
+
+    /// Builder: override coupling strength ε (ablation A2).
+    pub fn with_coupling(mut self, epsilon: f64) -> Self {
+        self.protocol.coupling = epsilon;
+        self
+    }
+
+    /// Validate all three layers.
+    pub fn validate(&self) -> Result<(), String> {
+        self.sim.validate()?;
+        self.protocol.validate()?;
+        if self.channel.shadowing_sigma_db < 0.0 {
+            return Err("shadowing sigma must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let c = ScenarioConfig::table1(50);
+        assert_eq!(c.sim.n_devices, 50);
+        assert_eq!(c.channel.tx_power.get(), 23.0);
+        assert_eq!(c.channel.detection_threshold.get(), -95.0);
+        assert_eq!(c.channel.shadowing_sigma_db, 10.0);
+        assert_eq!(c.protocol.period_slots, 100);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builders() {
+        let c = ScenarioConfig::table1(100)
+            .seeded(9)
+            .ideal_channel()
+            .with_coupling(0.1)
+            .with_max_slots(SlotDuration(5));
+        assert_eq!(c.sim.seed, 9);
+        assert_eq!(c.channel.shadowing_sigma_db, 0.0);
+        assert_eq!(c.protocol.coupling, 0.1);
+        assert_eq!(c.sim.max_slots, SlotDuration(5));
+    }
+
+    #[test]
+    fn validation_rejects_bad_protocol() {
+        let mut c = ScenarioConfig::table1(10);
+        c.protocol.refractory_slots = 100;
+        assert!(c.validate().is_err());
+        let mut c = ScenarioConfig::table1(10);
+        c.protocol.coupling = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ScenarioConfig::table1(10);
+        c.protocol.service_classes = 0;
+        assert!(c.validate().is_err());
+        let mut c = ScenarioConfig::table1(10);
+        c.protocol.discovery_periods = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_negative_shadowing() {
+        let mut c = ScenarioConfig::table1(10);
+        c.channel.shadowing_sigma_db = -1.0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,1294 @@
+//! The distributed ST protocol — Algorithms 1–3 as an event-driven,
+//! slot-accurate protocol engine.
+//!
+//! One trial proceeds through three phases:
+//!
+//! 1. **Discovery** (`discovery_periods` oscillator periods): devices
+//!    free-run and fire proximity signals on RACH1. Every decoded PS
+//!    feeds the RSSI neighbour table (§III: neighbour + service
+//!    discovery from passive listening — the ranging model is what lets
+//!    the ST method skip pairwise discovery handshakes).
+//! 2. **Merge** (Algorithm 1/2): GHS/Borůvka rounds paced on the slot
+//!    grid. Per round, each fragment convergecasts its members' best
+//!    outgoing edges to the head (`Initiate` down, `Report` up — one
+//!    unicast per member each way), the head routes a `MergeCmd` to the
+//!    boundary device, and the boundary runs the `H_Connect` handshake
+//!    of Algorithm 2 as RACH2 broadcasts through the collision medium
+//!    (random offset in a contention window, retries with backoff).
+//!    Non-mutual connects are authorised by the target fragment's head
+//!    (grant round-trip on the tree), which pins *at most one merge per
+//!    fragment per round* — exactly the pairwise-merge discipline that
+//!    keeps fragment labels consistent. Committed merges adopt the
+//!    larger fragment's head (Algorithm 1's `Merge Sub Tree`) and flood
+//!    the new identity through the losing side.
+//! 3. **Sync**: pulse coupling (eq. (5)) along tree edges only.
+//!    Convergence is declared in the first slot where *every* device
+//!    fires (same-slot absorption cascades included).
+//!
+//! ## Modelling notes (documented deviations)
+//!
+//! * Tree-internal unicasts (`Initiate`/`Report`/`MergeCmd`/grants/
+//!   floods) ride *scheduled* LTE-A uplink resources — delivered
+//!   reliably with one-slot latency and **counted**, but not subject to
+//!   RACH contention. Contention applies to everything broadcast:
+//!   fires (RACH1) and `H_Connect`/`H_Accept` handshakes (RACH2).
+//! * Round boundaries are paced on the common subframe clock that the
+//!   cellular underlay provides (network-assisted D2D); the pace adapts
+//!   to the current maximum fragment depth.
+//! * Lost `H_Accept`s are healed by idempotent re-accepts and by
+//!   adopting tree links implied by received floods.
+
+use rand::Rng;
+use std::collections::HashMap;
+
+use ffd2d_osc::prc::Prc;
+use ffd2d_phy::frame::{FrameKind, ProximitySignal};
+use ffd2d_radio::units::Dbm;
+use ffd2d_sim::counters::Counters;
+use ffd2d_sim::deployment::DeviceId;
+use ffd2d_sim::rng::{StreamId, StreamRng};
+use ffd2d_sim::time::{Slot, SlotDuration};
+
+use crate::device::{CouplingMode, Device};
+use crate::outcome::RunOutcome;
+use crate::scenario::ScenarioConfig;
+use crate::world::{FastMedium, World};
+
+/// Sentinel for "no device".
+const NONE: DeviceId = DeviceId::MAX;
+/// Slots a boundary waits for an `H_Accept` before retransmitting.
+const HANDSHAKE_TIMEOUT: u64 = 8;
+/// Firing transmissions are staggered uniformly over this many slots
+/// (RFA-style jitter); the offset is stamped into the frame's `age`
+/// field so receivers couple as if the pulse were instantaneous.
+const FIRE_JITTER: u64 = 8;
+/// Ring size of the pending-fire queue (must exceed `FIRE_JITTER`).
+const FIRE_RING: usize = 16;
+/// Convergence is probed at this slot interval during the sync phase.
+const SYNC_CHECK_INTERVAL: u64 = 16;
+/// `age` sentinel marking a keep-alive beacon (not a timing pulse):
+/// beacons refresh neighbour tables without coupling oscillators.
+const BEACON_AGE: u8 = u8::MAX;
+/// Neighbour-table entries older than this many periods are not trusted
+/// for merge proposals (their fragment label may be stale).
+const FRESHNESS_PERIODS: u64 = 5;
+/// Hop budget for tree-routed grant messages (far above any real
+/// fragment depth; reached only by pathological routing loops).
+const GRANT_TTL: u8 = 200;
+
+/// The proposed tree-based firefly protocol.
+pub struct StProtocol;
+
+impl StProtocol {
+    /// Run one trial of the scenario.
+    pub fn run(cfg: &ScenarioConfig) -> RunOutcome {
+        let world = World::new(cfg);
+        Self::run_in(&world)
+    }
+
+    /// Run one trial in a pre-built world (lets callers share the world
+    /// across protocol variants for paired comparisons).
+    pub fn run_in(world: &World) -> RunOutcome {
+        Engine::new(world).run()
+    }
+}
+
+/// Tree-internal unicast messages (scheduled resources).
+#[derive(Debug, Clone, Copy)]
+enum Msg {
+    /// Head → leaves: start round `round`, re-orient the tree and
+    /// re-assert the authoritative fragment identity.
+    Initiate {
+        round: u32,
+        fragment: DeviceId,
+        head: DeviceId,
+    },
+    /// Leaf → head: aggregated best outgoing edge + subtree size.
+    Report {
+        round: u32,
+        best_u: DeviceId,
+        best_v: DeviceId,
+        best_w: f64,
+        /// Fragment label of `best_v` as known at the reporting device
+        /// (heads need it for fragment-level mutual detection).
+        best_frag: DeviceId,
+        size: u32,
+    },
+    /// Head → boundary: connect over your reported edge; carries the
+    /// fragment size snapshot the boundary advertises in `H_Connect`.
+    MergeCmd { round: u32, frag_size: u32 },
+    /// Target boundary → its head: may I accept this foreign connect?
+    /// `ttl` bounds tree-routed forwarding: transient orientation
+    /// inconsistencies (crossing identity floods) can briefly create
+    /// parent 2-cycles, and an unbounded forward would ping-pong.
+    GrantReq {
+        round: u32,
+        origin: DeviceId,
+        requester: DeviceId,
+        req_fragment: DeviceId,
+        req_size: u32,
+        ttl: u8,
+    },
+    /// Head → target boundary: grant decision (carries own fragment
+    /// size for the survivor rule).
+    GrantResp {
+        round: u32,
+        origin: DeviceId,
+        requester: DeviceId,
+        granted: bool,
+        my_size: u32,
+        ttl: u8,
+    },
+    /// Flood into the losing fragment: adopt `head`, re-orient.
+    NewFragment { head: DeviceId },
+    /// Boundary → head: this round's own handshake is void (the target
+    /// turned out to be in our own fragment); clear the pending request
+    /// so foreign merges can be granted.
+    HsFailed { round: u32 },
+    /// Handshake acceptance (Algorithm 2's positive return). Unlike the
+    /// contention-based `H_Connect` broadcast, the accept rides the
+    /// dedicated link being established and is MAC-acknowledged, hence
+    /// reliable — which is what keeps commits two-sided and the
+    /// accepted edge set a forest. Counted as RACH2 signalling.
+    Accept {
+        fragment: DeviceId,
+        fragment_size: u32,
+        head: DeviceId,
+    },
+    /// Commit confirmation from the handshake requester, carrying the
+    /// agreed surviving head (computed once, at the requester, from the
+    /// two exchanged snapshots — so both sides apply the identical
+    /// merge). Reliable, like `Accept`.
+    Finalize { survivor: DeviceId },
+}
+
+/// Per-device, per-round merge state.
+#[derive(Debug, Clone)]
+struct MState {
+    round: u32,
+    pending_children: u32,
+    best_u: DeviceId,
+    best_v: DeviceId,
+    best_w: f64,
+    best_frag: DeviceId,
+    best_provider: DeviceId,
+    size: u32,
+    /// Head only: this round's own merge request targets this fragment
+    /// (NONE = idle). Used for fragment-level mutual detection.
+    own_target: DeviceId,
+    /// Boundary handshake target (NONE = no handshake).
+    hs_peer: DeviceId,
+    hs_retries: u32,
+    hs_next_tx: u64,
+    /// Fragment-size snapshot for `H_Connect` (set by `MergeCmd`).
+    frag_size: u32,
+    /// Committed a merge this round (stops handshake retries).
+    committed: bool,
+    /// Head only: granted a foreign merge this round (merge budget).
+    granted_foreign: bool,
+    /// Processed this round's `Initiate` (duplicate-flood guard).
+    initiated: bool,
+    /// Pending foreign requests awaiting head grants.
+    foreign: Vec<(DeviceId, DeviceId, u32)>, // (requester, req_fragment, req_size)
+    /// Breadcrumbs for routing `GrantResp` back down, keyed by
+    /// (origin, requester).
+    grant_route: HashMap<(DeviceId, DeviceId), DeviceId>,
+}
+
+impl MState {
+    fn reset(&mut self, round: u32) {
+        *self = MState {
+            round,
+            ..MState::default()
+        };
+    }
+}
+
+impl Default for MState {
+    fn default() -> Self {
+        MState {
+            round: 0,
+            pending_children: 0,
+            best_u: NONE,
+            best_v: NONE,
+            best_w: f64::NEG_INFINITY,
+            best_frag: NONE,
+            best_provider: NONE,
+            size: 1,
+            own_target: NONE,
+            hs_peer: NONE,
+            hs_retries: 0,
+            hs_next_tx: 0,
+            frag_size: 1,
+            committed: false,
+            granted_foreign: false,
+            initiated: false,
+            foreign: Vec::new(),
+            grant_route: HashMap::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Discovery,
+    Merge,
+    Sync,
+}
+
+struct Engine<'w> {
+    world: &'w World,
+    devices: Vec<Device>,
+    m: Vec<MState>,
+    /// Authoritative undirected tree adjacency.
+    tree: Vec<Vec<DeviceId>>,
+    medium: FastMedium,
+    counters: Counters,
+    prc: Prc,
+    rng: StreamRng,
+    phase: Phase,
+    round: u32,
+    round_end: u64,
+    /// Last slot at which new handshake activity may start this round
+    /// (leaves room for the grant round-trip + accept + finalize).
+    round_grace_end: u64,
+    /// `MergeCmd`s issued in the current round (0 ⇒ all heads idle).
+    mergecmds_this_round: u32,
+    commits_total: u32,
+    /// Commit count at the previous round boundary (stagnation probe).
+    commits_at_round_start: u32,
+    /// Consecutive rounds that requested merges but committed none.
+    stagnant_rounds: u32,
+    /// Unicasts in flight: sent this slot, delivered next slot.
+    outbox: Vec<(DeviceId, DeviceId, Msg)>, // (from, to, msg)
+    inbox: Vec<(DeviceId, DeviceId, Msg)>,
+    /// RACH2 broadcasts queued for this slot.
+    rach2_out: Vec<ProximitySignal>,
+    /// Pending staggered fire transmissions, ring-indexed by slot.
+    fire_queue: Vec<Vec<(DeviceId, u8)>>,
+    /// Per-device keep-alive beacon offset within the period (merge
+    /// phase only): randomly spread so synchronized fragments do not
+    /// jam their own discovery refresh.
+    beacon_offset: Vec<u64>,
+    phases_scratch: Vec<f64>,
+}
+
+impl<'w> Engine<'w> {
+    fn new(world: &'w World) -> Engine<'w> {
+        let cfg = world.config();
+        let n = world.n();
+        let seed = cfg.sim.seed;
+        let mut phase_rng = StreamRng::new(seed, 0, StreamId::Phases);
+        let devices: Vec<Device> = (0..n as DeviceId)
+            .map(|id| {
+                Device::new(
+                    id,
+                    n,
+                    phase_rng.gen_range(0.0..1.0),
+                    cfg.protocol.period_slots,
+                    cfg.protocol.refractory_slots,
+                    world.services()[id as usize],
+                )
+            })
+            .collect();
+        Engine {
+            world,
+            devices,
+            m: vec![MState::default(); n],
+            tree: vec![Vec::new(); n],
+            medium: FastMedium::new(n),
+            counters: Counters::new(),
+            prc: Prc::from_dissipation(cfg.protocol.dissipation, cfg.protocol.coupling),
+            rng: StreamRng::new(seed, 0, StreamId::Protocol),
+            phase: Phase::Discovery,
+            round: 0,
+            round_end: 0,
+            round_grace_end: 0,
+            mergecmds_this_round: 0,
+            commits_total: 0,
+            commits_at_round_start: 0,
+            stagnant_rounds: 0,
+            outbox: Vec::new(),
+            inbox: Vec::new(),
+            rach2_out: Vec::new(),
+            fire_queue: vec![Vec::new(); FIRE_RING],
+            beacon_offset: {
+                let period = cfg.protocol.period_slots as u64;
+                let mut rng = StreamRng::with_raw_stream(seed, 0, 0xBEAC);
+                (0..n).map(|_| rng.gen_range(0..period)).collect()
+            },
+            phases_scratch: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, from: DeviceId, to: DeviceId, msg: Msg) {
+        self.counters.unicast_tx += 1;
+        self.outbox.push((from, to, msg));
+    }
+
+    /// Maximum tree depth over all fragments (for round pacing).
+    fn max_depth(&self) -> u64 {
+        let n = self.devices.len();
+        let mut depth = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for d in &self.devices {
+            if d.is_head() {
+                depth[d.id as usize] = 0;
+                queue.push_back(d.id);
+            }
+        }
+        let mut max = 0;
+        while let Some(v) = queue.pop_front() {
+            for &u in &self.tree[v as usize] {
+                if depth[u as usize] == u32::MAX {
+                    depth[u as usize] = depth[v as usize] + 1;
+                    max = max.max(depth[u as usize]);
+                    queue.push_back(u);
+                }
+            }
+        }
+        max as u64
+    }
+
+    fn start_round(&mut self, slot: Slot) {
+        if std::env::var("FFD2D_DEBUG").is_ok() && self.round > 0 {
+            // Cycle check over the accepted tree edges.
+            let n = self.devices.len();
+            let mut uf = ffd2d_graph::UnionFind::new(n);
+            for v in 0..n as u32 {
+                for &u in &self.tree[v as usize] {
+                    if v < u && !uf.union(v, u) {
+                        eprintln!("!! CYCLE closed by edge {v}--{u} at round {}", self.round);
+                    }
+                    if !self.tree[u as usize].contains(&v) {
+                        eprintln!("!! ASYMMETRIC link {v}->{u} at round {}", self.round);
+                    }
+                }
+            }
+            let heads = self.devices.iter().filter(|d| d.is_head()).count();
+            let mut frags: Vec<u32> = self.devices.iter().map(|d| d.fragment).collect();
+            frags.sort(); frags.dedup();
+            eprintln!("round {} end: heads={} frags={:?} commits_total={} mergecmds={} rach2={}",
+                self.round, heads, frags, self.commits_total, self.mergecmds_this_round, self.counters.rach2_tx);
+        }
+        self.round += 1;
+        self.mergecmds_this_round = 0;
+        let cfg = &self.world.config().protocol;
+        // Round budget: initiate+report (2 depth hops), merge-cmd +
+        // grant round-trip (2 depth), the handshake window with
+        // retries, and the identity flood (depth), plus slack — floored
+        // at 1.5 periods so neighbour tables refresh between rounds.
+        let d = self.max_depth() + 1;
+        let handshake = (cfg.handshake_window as u64 + HANDSHAKE_TIMEOUT)
+            * (cfg.handshake_retries as u64 + 1);
+        let budget = (5 * d + handshake + 8).max(cfg.period_slots as u64 * 3 / 2);
+        self.round_end = slot.0 + budget;
+        self.round_grace_end = self.round_end.saturating_sub(2 * d + 16);
+
+        let round = self.round;
+        for i in 0..self.devices.len() {
+            self.m[i].reset(round);
+        }
+        // Heads initiate.
+        for id in 0..self.devices.len() as DeviceId {
+            if !self.devices[id as usize].is_head() {
+                continue;
+            }
+            let children: Vec<DeviceId> = self.tree[id as usize].clone();
+            self.devices[id as usize].parent = None;
+            self.devices[id as usize].children = children.clone();
+            self.m[id as usize].pending_children = children.len() as u32;
+            for c in children {
+                self.send(
+                    id,
+                    c,
+                    Msg::Initiate {
+                        round,
+                        fragment: id,
+                        head: id,
+                    },
+                );
+            }
+            if self.m[id as usize].pending_children == 0 {
+                self.aggregate_and_act(id, slot);
+            }
+        }
+    }
+
+    /// Fold the device's own best outgoing edge into its aggregate and
+    /// either report up or (at the head) decide the round's merge.
+    fn aggregate_and_act(&mut self, v: DeviceId, slot: Slot) {
+        let frag = self.devices[v as usize].fragment;
+        let max_age = FRESHNESS_PERIODS * self.world.config().protocol.period_slots as u64;
+        if let Some((nbr, w)) =
+            self.devices[v as usize]
+                .table
+                .best_outgoing_fresh(frag, slot, max_age)
+        {
+            let better = w > self.m[v as usize].best_w
+                || (w == self.m[v as usize].best_w && (v, nbr) < (self.m[v as usize].best_u, self.m[v as usize].best_v));
+            if better {
+                let nbr_frag = self.devices[v as usize]
+                    .table
+                    .get(nbr)
+                    .map(|i| i.fragment)
+                    .unwrap_or(NONE);
+                let st = &mut self.m[v as usize];
+                st.best_u = v;
+                st.best_v = nbr;
+                st.best_w = w;
+                st.best_frag = nbr_frag;
+                st.best_provider = v;
+            }
+        }
+        let st = &self.m[v as usize];
+        let (best_u, best_v, best_w, best_frag, provider, size) = (
+            st.best_u,
+            st.best_v,
+            st.best_w,
+            st.best_frag,
+            st.best_provider,
+            st.size,
+        );
+        let round = st.round;
+        if self.devices[v as usize].is_head() {
+            if best_v == NONE {
+                return; // no outgoing edge: fragment idle this round
+            }
+            self.m[v as usize].own_target = best_frag;
+            self.mergecmds_this_round += 1;
+            if provider == v {
+                self.m[v as usize].frag_size = size;
+                self.begin_handshake(v, best_v, slot);
+            } else {
+                self.send(
+                    v,
+                    provider,
+                    Msg::MergeCmd {
+                        round,
+                        frag_size: size,
+                    },
+                );
+            }
+        } else {
+            let parent = self.devices[v as usize]
+                .parent
+                .expect("non-head device must have a parent during a round");
+            self.send(
+                v,
+                parent,
+                Msg::Report {
+                    round,
+                    best_u,
+                    best_v,
+                    best_w,
+                    best_frag,
+                    size,
+                },
+            );
+        }
+    }
+
+    fn begin_handshake(&mut self, u: DeviceId, v: DeviceId, slot: Slot) {
+        let cfg = &self.world.config().protocol;
+        let st = &mut self.m[u as usize];
+        st.hs_peer = v;
+        st.hs_retries = cfg.handshake_retries;
+        st.hs_next_tx = slot.0 + 1 + self.rng.gen_range(0..cfg.handshake_window as u64);
+    }
+
+    fn handle_msg(&mut self, from: DeviceId, v: DeviceId, msg: Msg, slot: Slot) {
+        match msg {
+            Msg::Initiate {
+                round,
+                fragment,
+                head,
+            } => {
+                if round != self.round || self.m[v as usize].initiated {
+                    return;
+                }
+                if !self.tree[v as usize].contains(&from) {
+                    // Tree messages are only meaningful over committed
+                    // tree edges; commits are two-sided (reliable
+                    // accepts), so this cannot be a missed edge.
+                    return;
+                }
+                self.m[v as usize].initiated = true;
+                self.m[v as usize].round = round;
+                // The initiate flood is authoritative for identity: it
+                // travelled tree edges from the head itself.
+                self.devices[v as usize].fragment = fragment;
+                self.devices[v as usize].head = head;
+                self.devices[v as usize].parent = Some(from);
+                let children: Vec<DeviceId> = self.tree[v as usize]
+                    .iter()
+                    .copied()
+                    .filter(|&u| u != from)
+                    .collect();
+                self.devices[v as usize].children = children.clone();
+                self.m[v as usize].pending_children = children.len() as u32;
+                let round = self.round;
+                for c in children {
+                    self.send(
+                        v,
+                        c,
+                        Msg::Initiate {
+                            round,
+                            fragment,
+                            head,
+                        },
+                    );
+                }
+                if self.m[v as usize].pending_children == 0 {
+                    self.aggregate_and_act(v, slot);
+                }
+            }
+            Msg::Report {
+                round,
+                best_u,
+                best_v,
+                best_w,
+                best_frag,
+                size,
+            } => {
+                if round != self.round {
+                    return;
+                }
+                let st = &mut self.m[v as usize];
+                st.size += size;
+                if best_v != NONE {
+                    let better = best_w > st.best_w
+                        || (best_w == st.best_w && (best_u, best_v) < (st.best_u, st.best_v));
+                    if better {
+                        st.best_u = best_u;
+                        st.best_v = best_v;
+                        st.best_w = best_w;
+                        st.best_frag = best_frag;
+                        st.best_provider = from;
+                    }
+                }
+                st.pending_children = st.pending_children.saturating_sub(1);
+                if st.pending_children == 0 {
+                    self.aggregate_and_act(v, slot);
+                }
+            }
+            Msg::MergeCmd { round, frag_size } => {
+                if round != self.round {
+                    return;
+                }
+                self.m[v as usize].frag_size = frag_size;
+                if self.m[v as usize].best_provider == v {
+                    let peer = self.m[v as usize].best_v;
+                    if peer != NONE {
+                        self.begin_handshake(v, peer, slot);
+                    }
+                } else if self.m[v as usize].best_provider != NONE {
+                    self.send(
+                        v,
+                        self.m[v as usize].best_provider,
+                        Msg::MergeCmd { round, frag_size },
+                    );
+                }
+            }
+            Msg::GrantReq {
+                round,
+                origin,
+                requester,
+                req_fragment,
+                req_size,
+                ttl,
+            } => {
+                if round != self.round || ttl == 0 {
+                    return;
+                }
+                if self.devices[v as usize].is_head() {
+                    // Matching discipline: every fragment takes part in
+                    // at most ONE merge per round, which keeps each
+                    // round's merge set a matching over current
+                    // fragments — provably cycle-free even under stale
+                    // neighbour labels. A head therefore grants iff
+                    //   * the requester is a different fragment,
+                    //   * it has not already granted this round, and
+                    //   * it has no own request pending — except the
+                    //     fragment-level mutual case (we target them,
+                    //     they target us), where exactly one of the two
+                    //     edges must proceed: the higher head id yields.
+                    let my_frag = self.devices[v as usize].fragment;
+                    let st = &self.m[v as usize];
+                    let mutual = st.own_target == req_fragment;
+                    let own_pending = st.own_target != NONE;
+                    let granted = my_frag != req_fragment
+                        && !st.granted_foreign
+                        && (!own_pending || (mutual && my_frag > req_fragment));
+                    if granted {
+                        self.m[v as usize].granted_foreign = true;
+                    }
+                    if std::env::var("FFD2D_DEBUG").is_ok() && self.round >= 8 {
+                        eprintln!("  r{} grantdecision at head {}: req_frag={} my_frag={} own_target={} mutual={} granted={}",
+                            self.round, v, req_fragment, my_frag, self.m[v as usize].own_target as i64, mutual, granted);
+                    }
+                    let my_size = self.m[v as usize].size;
+                    if origin == v {
+                        self.deliver_grant(v, requester, granted, my_size, slot);
+                    } else {
+                        // Respond to whichever child delivered the
+                        // request; breadcrumbs route the rest of the way.
+                        self.send(
+                            v,
+                            from,
+                            Msg::GrantResp {
+                                round,
+                                origin,
+                                requester,
+                                granted,
+                                my_size,
+                                ttl: GRANT_TTL,
+                            },
+                        );
+                    }
+                    let _ = req_size;
+                } else {
+                    self.m[v as usize]
+                        .grant_route
+                        .insert((origin, requester), from);
+                    if let Some(parent) = self.devices[v as usize].parent {
+                        self.send(
+                            v,
+                            parent,
+                            Msg::GrantReq {
+                                round,
+                                origin,
+                                requester,
+                                req_fragment,
+                                req_size,
+                                ttl: ttl - 1,
+                            },
+                        );
+                    }
+                }
+            }
+            Msg::GrantResp {
+                round,
+                origin,
+                requester,
+                granted,
+                my_size,
+                ttl,
+            } => {
+                if round != self.round || ttl == 0 {
+                    return;
+                }
+                if origin == v {
+                    self.deliver_grant(v, requester, granted, my_size, slot);
+                } else {
+                    let back = self.m[v as usize]
+                        .grant_route
+                        .get(&(origin, requester))
+                        .copied();
+                    if let Some(back) = back {
+                        self.send(
+                            v,
+                            back,
+                            Msg::GrantResp {
+                                round,
+                                origin,
+                                requester,
+                                granted,
+                                my_size,
+                                ttl: ttl - 1,
+                            },
+                        );
+                    }
+                }
+            }
+            Msg::Accept {
+                fragment,
+                fragment_size,
+                head,
+            } => {
+                self.devices[v as usize].table.update_fragment(from, fragment);
+                if self.m[v as usize].hs_peer == from && !self.m[v as usize].committed {
+                    let same_fragment = self.devices[v as usize].head == head;
+                    let linked = self.tree[v as usize].contains(&from);
+                    if same_fragment && !linked {
+                        // Void handshake: the target already merged into
+                        // our fragment over another edge. Release the
+                        // head's merge slot.
+                        self.m[v as usize].hs_peer = NONE;
+                        let round = self.round;
+                        if self.devices[v as usize].is_head() {
+                            self.m[v as usize].own_target = NONE;
+                        } else if let Some(parent) = self.devices[v as usize].parent {
+                            self.send(v, parent, Msg::HsFailed { round });
+                        }
+                    } else {
+                        // Decide the surviving head once, from the two
+                        // pre-merge snapshots, and share the decision so
+                        // both endpoints apply the identical merge.
+                        let survivor = Self::decide_survivor(
+                            self.devices[v as usize].head,
+                            self.m[v as usize].frag_size,
+                            head,
+                            fragment_size,
+                        );
+                        self.counters.rach2_tx += 1;
+                        self.outbox.push((v, from, Msg::Finalize { survivor }));
+                        self.commit(v, from, survivor);
+                    }
+                }
+            }
+            Msg::Finalize { survivor } => {
+                self.commit(v, from, survivor);
+            }
+            Msg::HsFailed { round } => {
+                if round != self.round {
+                    return;
+                }
+                if self.devices[v as usize].is_head() {
+                    self.m[v as usize].own_target = NONE;
+                } else if let Some(parent) = self.devices[v as usize].parent {
+                    self.send(v, parent, Msg::HsFailed { round });
+                }
+            }
+            Msg::NewFragment { head } => {
+                if !self.tree[v as usize].contains(&from) {
+                    return;
+                }
+                if self.devices[v as usize].fragment == head
+                    && self.devices[v as usize].parent == Some(from)
+                {
+                    return; // duplicate
+                }
+                self.devices[v as usize].fragment = head;
+                self.devices[v as usize].head = head;
+                self.devices[v as usize].parent = Some(from);
+                let fwd: Vec<DeviceId> = self.tree[v as usize]
+                    .iter()
+                    .copied()
+                    .filter(|&u| u != from)
+                    .collect();
+                self.devices[v as usize].children = fwd.clone();
+                for c in fwd {
+                    self.send(v, c, Msg::NewFragment { head });
+                }
+            }
+        }
+    }
+
+    /// A granted (or denied) foreign connect at the target boundary.
+    fn deliver_grant(
+        &mut self,
+        v: DeviceId,
+        requester: DeviceId,
+        granted: bool,
+        my_size: u32,
+        _slot: Slot,
+    ) {
+        let Some(pos) = self.m[v as usize]
+            .foreign
+            .iter()
+            .position(|&(r, _, _)| r == requester)
+        else {
+            return;
+        };
+        let (requester, req_fragment, req_size) = self.m[v as usize].foreign.swap_remove(pos);
+        if !granted {
+            return;
+        }
+        let _ = (req_fragment, req_size);
+        // Advertise our snapshot; the requester decides the survivor and
+        // confirms with `Finalize`, upon which we commit.
+        self.m[v as usize].frag_size = my_size;
+        self.m[v as usize].hs_peer = requester;
+        self.send_accept(v, requester);
+    }
+
+    fn send_accept(&mut self, v: DeviceId, to: DeviceId) {
+        let d = &self.devices[v as usize];
+        let msg = Msg::Accept {
+            fragment: d.fragment,
+            fragment_size: self.m[v as usize].frag_size,
+            head: d.head,
+        };
+        self.counters.rach2_tx += 1;
+        self.outbox.push((v, to, msg));
+    }
+
+    /// Algorithm 1's head-selection rule: the surviving head comes from
+    /// the larger tree ("choose S_v.head from highest number of node's
+    /// tree"); ties break to the smaller head id.
+    fn decide_survivor(
+        my_head: DeviceId,
+        my_size: u32,
+        their_head: DeviceId,
+        their_size: u32,
+    ) -> DeviceId {
+        if my_size > their_size || (my_size == their_size && my_head < their_head) {
+            my_head
+        } else {
+            their_head
+        }
+    }
+
+    /// Commit the merge over tree edge `(x, y)` from `x`'s side, with a
+    /// pre-agreed surviving head (both endpoints receive the same
+    /// `survivor`, so the two sides always apply the identical merge).
+    fn commit(&mut self, x: DeviceId, y: DeviceId, survivor: DeviceId) {
+        if !self.tree[x as usize].contains(&y) {
+            self.tree[x as usize].push(y);
+            self.commits_total += 1;
+        }
+        self.m[x as usize].committed = true;
+        self.m[x as usize].hs_peer = NONE;
+        if std::env::var("FFD2D_DEBUG").is_ok() {
+            eprintln!("  commit {}--{} (survivor={})", x, y, survivor);
+        }
+        if self.devices[x as usize].head == survivor {
+            // Winning side: the peer becomes a child.
+            if !self.devices[x as usize].children.contains(&y)
+                && self.devices[x as usize].parent != Some(y)
+            {
+                self.devices[x as usize].children.push(y);
+            }
+        } else {
+            // Losing side: adopt the surviving identity and flood it
+            // into the old fragment.
+            self.devices[x as usize].fragment = survivor;
+            self.devices[x as usize].head = survivor;
+            self.devices[x as usize].parent = Some(y);
+            let fwd: Vec<DeviceId> = self.tree[x as usize]
+                .iter()
+                .copied()
+                .filter(|&u| u != y)
+                .collect();
+            self.devices[x as usize].children = fwd.clone();
+            for c in fwd {
+                self.send(x, c, Msg::NewFragment { head: survivor });
+            }
+        }
+    }
+
+    fn handle_rach2(&mut self, receiver: DeviceId, sig: &ProximitySignal, slot: Slot) {
+        match sig.kind {
+            FrameKind::HConnect {
+                to,
+                fragment,
+                fragment_size,
+                head,
+            } => {
+                self.devices[receiver as usize]
+                    .table
+                    .update_fragment(sig.sender, fragment);
+                if to != receiver {
+                    return;
+                }
+                if std::env::var("FFD2D_DEBUG").is_ok() && self.round >= 8 {
+                    eprintln!("  r{} hconnect {}->{} (their frag={}, my frag={}, my hs_peer={}, link={})",
+                        self.round, sig.sender, receiver, fragment,
+                        self.devices[receiver as usize].fragment,
+                        self.m[receiver as usize].hs_peer as i64,
+                        self.tree[receiver as usize].contains(&sig.sender));
+                }
+                let me = &self.devices[receiver as usize];
+                if me.fragment == fragment {
+                    // Same fragment: either a stale edge choice by the
+                    // peer, or the peer missed our accept after a
+                    // committed merge. Reply either way — the accept
+                    // carries our current labels, which lets the peer
+                    // heal a missed commit (tree link exists) or abort a
+                    // void handshake (no link).
+                    self.send_accept(receiver, sig.sender);
+                    return;
+                }
+                if self.m[receiver as usize].hs_peer == sig.sender {
+                    // Mutual choice (the GHS core edge): accept without
+                    // a head round-trip. Both boundaries exchange
+                    // accepts; the commit happens on Accept/Finalize.
+                    let _ = (head, fragment_size);
+                    self.send_accept(receiver, sig.sender);
+                    return;
+                }
+                if self.tree[receiver as usize].contains(&sig.sender) {
+                    self.send_accept(receiver, sig.sender);
+                    return;
+                }
+                if slot.0 > self.round_grace_end {
+                    return; // too late in the round for a grant trip
+                }
+                let already_pending = self.m[receiver as usize]
+                    .foreign
+                    .iter()
+                    .any(|&(r, _, _)| r == sig.sender);
+                if !already_pending {
+                    self.m[receiver as usize]
+                        .foreign
+                        .push((sig.sender, fragment, fragment_size));
+                    let round = self.round;
+                    if self.devices[receiver as usize].is_head() {
+                        self.handle_msg(
+                            receiver,
+                            receiver,
+                            Msg::GrantReq {
+                                round,
+                                origin: receiver,
+                                requester: sig.sender,
+                                req_fragment: fragment,
+                                req_size: fragment_size,
+                                ttl: GRANT_TTL,
+                            },
+                            slot,
+                        );
+                    } else if let Some(parent) = self.devices[receiver as usize].parent {
+                        self.send(
+                            receiver,
+                            parent,
+                            Msg::GrantReq {
+                                round,
+                                origin: receiver,
+                                requester: sig.sender,
+                                req_fragment: fragment,
+                                req_size: fragment_size,
+                                ttl: GRANT_TTL,
+                            },
+                        );
+                    }
+                }
+            }
+            // Accepts travel as reliable MAC-acknowledged signalling
+            // (see `Msg::Accept`); an on-air HAccept frame is not used
+            // by this engine.
+            _ => {}
+        }
+    }
+
+    /// Queue a staggered fire transmission for a device whose firing
+    /// instant was `base_age` slots ago (0 for a natural threshold
+    /// crossing; the absorbing pulse's age for an absorption).
+    fn enqueue_fire(&mut self, id: DeviceId, slot: Slot, min_jitter: u64, base_age: u8) {
+        let j = self.rng.gen_range(min_jitter..FIRE_JITTER.max(min_jitter + 1));
+        let at = (slot.0 + j) as usize % FIRE_RING;
+        self.fire_queue[at].push((id, base_age.saturating_add(j as u8)));
+    }
+
+    /// One slot of broadcast traffic: tick oscillators, transmit due
+    /// (staggered) fires plus queued RACH2 frames through the medium,
+    /// and couple decoded pulses with age compensation.
+    fn broadcast_step(&mut self, slot: Slot) {
+        let pathloss = self.world.channel_config().pathloss;
+        let tx_power = self.world.channel_config().tx_power;
+
+        // Natural fires from the slot tick.
+        for i in 0..self.devices.len() {
+            if self.devices[i].osc.tick() {
+                self.enqueue_fire(i as DeviceId, slot, 0, 0);
+            }
+        }
+        // Due transmissions.
+        let due = core::mem::take(&mut self.fire_queue[slot.0 as usize % FIRE_RING]);
+        let mut pending: Vec<ProximitySignal> = due
+            .iter()
+            .map(|&(id, age)| ProximitySignal {
+                sender: id,
+                service: self.devices[id as usize].service,
+                kind: FrameKind::Fire {
+                    fragment: self.devices[id as usize].fragment,
+                    age,
+                },
+            })
+            .collect();
+        // Merge-phase keep-alive beacons: one per device per period, at
+        // a per-device random offset. Synchronized fragments fire in a
+        // tight window that self-jams; beacons keep fragment labels and
+        // weights fresh without carrying timing.
+        if self.phase == Phase::Merge {
+            let period = self.world.config().protocol.period_slots as u64;
+            for id in 0..self.devices.len() {
+                if slot.0 % period == self.beacon_offset[id] {
+                    pending.push(ProximitySignal {
+                        sender: id as DeviceId,
+                        service: self.devices[id].service,
+                        kind: FrameKind::Fire {
+                            fragment: self.devices[id].fragment,
+                            age: BEACON_AGE,
+                        },
+                    });
+                }
+            }
+        }
+        pending.extend(self.rach2_out.drain(..));
+        if pending.is_empty() {
+            return;
+        }
+
+        let mut absorbed: Vec<(DeviceId, u8)> = Vec::new();
+        let mut rach2_events: Vec<(DeviceId, ProximitySignal)> = Vec::new();
+        {
+            let devices = &mut self.devices;
+            let prc = &self.prc;
+            self.medium.resolve(
+                self.world,
+                slot,
+                &pending,
+                &mut self.counters,
+                |receiver, sig, rx_dbm| match sig.kind {
+                    FrameKind::Fire { fragment, age } => {
+                        let dev = &mut devices[receiver as usize];
+                        dev.table.observe_fire(
+                            sig.sender,
+                            Dbm(rx_dbm),
+                            sig.service,
+                            fragment,
+                            slot,
+                            &pathloss,
+                            tx_power,
+                        );
+                        if age != BEACON_AGE
+                            && dev.hear_fire_delayed(sig.sender, prc, age as u32)
+                        {
+                            absorbed.push((receiver, age));
+                        }
+                    }
+                    _ => rach2_events.push((receiver, *sig)),
+                },
+            );
+        }
+        for (receiver, sig) in rach2_events {
+            self.handle_rach2(receiver, &sig, slot);
+        }
+        // Absorbed devices fire now; their transmissions stagger into
+        // the following slots.
+        for (id, age) in absorbed {
+            self.enqueue_fire(id, slot, 1, age);
+        }
+    }
+
+    /// Smallest covering arc of the population's phases, in turns.
+    fn phase_spread(&mut self) -> f64 {
+        self.phases_scratch.clear();
+        self.phases_scratch
+            .extend(self.devices.iter().map(|d| d.osc.phase()));
+        ffd2d_osc::sync::phase_spread(&self.phases_scratch)
+    }
+
+    fn run(mut self) -> RunOutcome {
+        let cfg = self.world.config().clone();
+        let n = self.devices.len();
+        let discovery_end =
+            cfg.protocol.discovery_periods as u64 * cfg.protocol.period_slots as u64;
+        let max_rounds = 2 * (usize::BITS - n.leading_zeros()) + 16;
+        let mut convergence: Option<u64> = None;
+
+        for s in 0..cfg.sim.max_slots.0 {
+            let slot = Slot(s);
+
+            // Phase transitions.
+            match self.phase {
+                Phase::Discovery if s >= discovery_end => {
+                    self.phase = Phase::Merge;
+                    for d in self.devices.iter_mut() {
+                        d.coupling = CouplingMode::TreeOnly;
+                    }
+                    self.start_round(slot);
+                }
+                Phase::Merge if s >= self.round_end => {
+                    if self.commits_total == self.commits_at_round_start {
+                        self.stagnant_rounds += 1;
+                    } else {
+                        self.stagnant_rounds = 0;
+                    }
+                    self.commits_at_round_start = self.commits_total;
+                    // Done when all heads are idle, when rounds stopped
+                    // producing merges (stale phantom edges), or at the
+                    // safety cap.
+                    if self.mergecmds_this_round == 0
+                        || self.stagnant_rounds >= 4
+                        || self.round >= max_rounds
+                    {
+                        self.phase = Phase::Sync;
+                        for d in self.devices.iter_mut() {
+                            d.coupling = CouplingMode::TreeOnly;
+                        }
+                    } else {
+                        self.start_round(slot);
+                    }
+                }
+                _ => {}
+            }
+
+            // Deliver last slot's unicasts.
+            core::mem::swap(&mut self.inbox, &mut self.outbox);
+            let batch: Vec<(DeviceId, DeviceId, Msg)> = self.inbox.drain(..).collect();
+            for (from, to, msg) in batch {
+                self.handle_msg(from, to, msg, slot);
+            }
+
+            // Boundary handshake (re)transmissions — only while enough
+            // round time remains for the full grant/accept/finalize
+            // exchange (late handshakes would straddle the round
+            // boundary and leave half-committed edges).
+            if self.phase == Phase::Merge && s <= self.round_grace_end {
+                for v in 0..n as DeviceId {
+                    let st = &self.m[v as usize];
+                    if st.hs_peer != NONE
+                        && !st.committed
+                        && st.hs_next_tx == s
+                    {
+                        let d = &self.devices[v as usize];
+                        let sig = ProximitySignal {
+                            sender: v,
+                            service: d.service,
+                            kind: FrameKind::HConnect {
+                                to: st.hs_peer,
+                                fragment: d.fragment,
+                                fragment_size: st.frag_size,
+                                head: d.head,
+                            },
+                        };
+                        self.rach2_out.push(sig);
+                        let st = &mut self.m[v as usize];
+                        if st.hs_retries > 0 {
+                            st.hs_retries -= 1;
+                            st.hs_next_tx = s
+                                + HANDSHAKE_TIMEOUT
+                                + self.rng.gen_range(
+                                    0..cfg.protocol.handshake_window as u64,
+                                );
+                        }
+                    }
+                }
+            }
+
+            // Broadcast traffic + coupling.
+            self.broadcast_step(slot);
+
+            // Convergence: all phases within one slot of each other.
+            if self.phase == Phase::Sync && s % SYNC_CHECK_INTERVAL == 0 {
+                let tol = 1.0 / cfg.protocol.period_slots as f64 + 1e-12;
+                if n > 0 && self.phase_spread() <= tol {
+                    convergence = Some(s);
+                    break;
+                }
+            }
+        }
+
+        self.finish(convergence)
+    }
+
+    fn finish(self, convergence: Option<u64>) -> RunOutcome {
+        let n = self.devices.len();
+        let mut tree_edges: Vec<(DeviceId, DeviceId)> = Vec::new();
+        for v in 0..n as DeviceId {
+            for &u in &self.tree[v as usize] {
+                if v < u {
+                    tree_edges.push((v, u));
+                }
+            }
+        }
+        tree_edges.sort();
+        let discovered_links: u64 = self
+            .devices
+            .iter()
+            .map(|d| d.table.discovered() as u64)
+            .sum();
+        let service_matches: u64 = self
+            .devices
+            .iter()
+            .map(|d| d.table.service_matches(d.service).len() as u64)
+            .sum();
+        RunOutcome {
+            convergence_time: convergence.map(SlotDuration),
+            counters: self.counters,
+            tree_edges,
+            merge_rounds: self.round,
+            discovered_links,
+            ground_truth_links: 2 * self.world.proximity_graph().m() as u64,
+            service_matches,
+            n_devices: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffd2d_graph::tree::is_spanning_tree;
+
+    fn cfg(n: usize, seed: u64) -> ScenarioConfig {
+        ScenarioConfig::table1(n)
+            .seeded(seed)
+            .with_max_slots(SlotDuration(120_000))
+    }
+
+    #[test]
+    fn small_ideal_world_converges_with_a_spanning_tree() {
+        let out = StProtocol::run(&cfg(12, 1).ideal_channel());
+        assert!(out.converged(), "{out:?}");
+        assert_eq!(out.tree_edges.len(), 11, "tree edges {:?}", out.tree_edges);
+        let edges: Vec<ffd2d_graph::Edge> = out
+            .tree_edges
+            .iter()
+            .map(|&(u, v)| ffd2d_graph::Edge::new(u, v, ffd2d_graph::W::new(0.0)))
+            .collect();
+        assert!(is_spanning_tree(12, &edges));
+    }
+
+    #[test]
+    fn table1_scenario_converges() {
+        let out = StProtocol::run(&cfg(50, 2));
+        assert!(out.converged(), "{out:?}");
+        assert!(out.merge_rounds >= 1);
+        assert!(out.messages() > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = StProtocol::run(&cfg(20, 3));
+        let b = StProtocol::run(&cfg(20, 3));
+        assert_eq!(a, b);
+        let c = StProtocol::run(&cfg(20, 4));
+        assert_ne!(a.convergence_time, c.convergence_time);
+    }
+
+    #[test]
+    fn tree_matches_sequential_oracle_on_ideal_channel() {
+        // With no shadowing/fading, perfect discovery makes the
+        // distributed tree equal the sequential Algorithm-1 tree (the
+        // unique maximum spanning tree).
+        let scenario = cfg(15, 5).ideal_channel();
+        let world = World::new(&scenario);
+        let out = StProtocol::run_in(&world);
+        assert!(out.converged());
+        let oracle = crate::reference::build_spanning_tree(world.proximity_graph());
+        let oracle_edges: Vec<(DeviceId, DeviceId)> =
+            oracle.forest.edges.iter().map(|e| (e.u, e.v)).collect();
+        assert_eq!(out.tree_edges, oracle_edges);
+    }
+
+    #[test]
+    fn discovery_is_nearly_complete() {
+        let out = StProtocol::run(&cfg(30, 6));
+        assert!(
+            out.discovery_completeness() > 0.9,
+            "completeness {}",
+            out.discovery_completeness()
+        );
+        assert!(out.service_matches > 0);
+    }
+
+    #[test]
+    fn two_devices_sync_quickly() {
+        let out = StProtocol::run(&cfg(2, 7).ideal_channel());
+        assert!(out.converged());
+        assert_eq!(out.tree_edges.len(), 1);
+    }
+
+    #[test]
+    fn message_counts_are_plausible() {
+        let out = StProtocol::run(&cfg(40, 8));
+        // Fires at least: discovery_periods × n.
+        assert!(out.counters.rach1_tx >= 3 * 40);
+        // Some merge signalling must have happened.
+        assert!(out.counters.rach2_tx > 0, "{:?}", out.counters);
+        assert!(out.counters.unicast_tx > 0);
+    }
+}

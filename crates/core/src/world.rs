@@ -1,0 +1,463 @@
+//! The per-trial world and its fast shared medium.
+//!
+//! [`World`] instantiates one trial of a scenario: the deployment, the
+//! composed channel (with all per-link randomness cached), the
+//! ground-truth proximity graph of §IV (edges where the long-term PS
+//! strength clears the −95 dBm threshold, weighted by that strength) and
+//! the per-device service interests.
+//!
+//! ## Why a second medium implementation
+//!
+//! `ffd2d_phy::Medium` is the reference resolver: it re-samples the
+//! channel per (tx, rx) pair through the full `Channel` stack and is
+//! exactly right for protocol-correctness tests. The figure sweeps,
+//! however, run populations of up to 1000 devices for tens of thousands
+//! of slots — the hot loop is `(transmissions × audible receivers)` per
+//! slot. [`FastMedium`] implements the *same* decode/collision/capture
+//! semantics against cached mean link powers plus the deterministic
+//! fading draw, with epoch-stamped per-receiver accumulators so a slot
+//! costs O(candidates) with zero allocation. Equivalence with the
+//! reference resolver is pinned by tests in this module.
+
+use rand::Rng;
+
+use ffd2d_phy::codec::{RachCodec, ServiceClass};
+use ffd2d_phy::frame::ProximitySignal;
+use ffd2d_radio::channel::{Channel, ChannelConfig};
+use ffd2d_radio::fading::FadingModel;
+use ffd2d_graph::adjacency::WeightedGraph;
+use ffd2d_graph::weight::W;
+use ffd2d_sim::counters::Counters;
+use ffd2d_sim::deployment::{Deployment, DeviceId, Meters};
+use ffd2d_sim::rng::{StreamId, StreamRng};
+use ffd2d_sim::time::Slot;
+
+use crate::scenario::ScenarioConfig;
+
+/// Fading headroom used when precomputing candidate receiver lists: a
+/// link whose mean power is below `threshold − margin` is treated as
+/// never audible. P(Rayleigh power gain > 9 dB) ≈ 3·10⁻⁴, so the
+/// truncation is negligible.
+const FADE_MARGIN_DB: f64 = 9.0;
+
+/// One trial's fully-instantiated world.
+#[derive(Debug, Clone)]
+pub struct World {
+    cfg: ScenarioConfig,
+    deployment: Deployment,
+    /// Row-major `n × n` mean received power in dBm (`NEG_INFINITY` on
+    /// the diagonal).
+    mean_dbm: Vec<f64>,
+    /// Per-device candidate receivers (mean power within fade margin of
+    /// the threshold).
+    audible: Vec<Vec<DeviceId>>,
+    /// Ground-truth §IV proximity graph (long-term links, PS-strength
+    /// weights).
+    graph: WeightedGraph,
+    /// Per-device service interests.
+    services: Vec<ServiceClass>,
+    fading: FadingModel,
+    fading_seed: u64,
+    threshold_dbm: f64,
+    capture_margin_db: f64,
+}
+
+impl World {
+    /// Instantiate the world for `cfg` (deterministic in `cfg.sim.seed`).
+    pub fn new(cfg: &ScenarioConfig) -> World {
+        cfg.validate().expect("invalid scenario");
+        let seed = cfg.sim.seed;
+        let n = cfg.sim.n_devices;
+        let mut dep_rng = StreamRng::new(seed, 0, StreamId::Deployment);
+        let deployment = Deployment::uniform(n, cfg.sim.area_width, cfg.sim.area_height, &mut dep_rng);
+
+        // Cache long-term link powers through the reference channel.
+        let channel = Channel::new(&deployment, cfg.channel.clone(), seed);
+        let threshold_dbm = cfg.channel.detection_threshold.get();
+        let mut mean_dbm = vec![f64::NEG_INFINITY; n * n];
+        let mut graph = WeightedGraph::new(n);
+        let mut audible: Vec<Vec<DeviceId>> = vec![Vec::new(); n];
+        for a in 0..n as DeviceId {
+            for b in 0..n as DeviceId {
+                if a == b {
+                    continue;
+                }
+                let p = channel.mean_rx_power(a, b).get();
+                mean_dbm[a as usize * n + b as usize] = p;
+                if p >= threshold_dbm - FADE_MARGIN_DB {
+                    audible[a as usize].push(b);
+                }
+                if a < b && p >= threshold_dbm {
+                    graph.add_edge(a, b, W::new(p));
+                }
+            }
+        }
+
+        let mut svc_rng = StreamRng::new(seed, 0, StreamId::Services);
+        let services = (0..n)
+            .map(|_| ServiceClass::new(svc_rng.gen_range(0..cfg.protocol.service_classes)))
+            .collect();
+
+        World {
+            cfg: cfg.clone(),
+            deployment,
+            mean_dbm,
+            audible,
+            graph,
+            services,
+            fading: cfg.channel.fading,
+            fading_seed: seed ^ 0xFAD0,
+            threshold_dbm,
+            capture_margin_db: 6.0,
+        }
+    }
+
+    /// Number of devices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.deployment.len()
+    }
+
+    /// The scenario this world was built from.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.cfg
+    }
+
+    /// The deployment.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// Ground-truth proximity graph (edges = long-term audible links,
+    /// weights = mean PS strength in dBm).
+    pub fn proximity_graph(&self) -> &WeightedGraph {
+        &self.graph
+    }
+
+    /// Per-device service interests.
+    pub fn services(&self) -> &[ServiceClass] {
+        &self.services
+    }
+
+    /// Detection threshold in dBm.
+    #[inline]
+    pub fn threshold_dbm(&self) -> f64 {
+        self.threshold_dbm
+    }
+
+    /// Candidate receivers of `tx` (within fade margin).
+    #[inline]
+    pub fn audible_candidates(&self, tx: DeviceId) -> &[DeviceId] {
+        &self.audible[tx as usize]
+    }
+
+    /// Long-term mean received power of link `a → b` in dBm.
+    #[inline]
+    pub fn mean_rx_dbm(&self, a: DeviceId, b: DeviceId) -> f64 {
+        self.mean_dbm[a as usize * self.n() + b as usize]
+    }
+
+    /// Instantaneous received power (mean + block fading) in dBm.
+    #[inline]
+    pub fn rx_dbm(&self, a: DeviceId, b: DeviceId, slot: Slot) -> f64 {
+        self.mean_rx_dbm(a, b) + self.fading.gain(self.fading_seed, a, b, slot).get()
+    }
+
+    /// True distance between two devices.
+    pub fn distance(&self, a: DeviceId, b: DeviceId) -> Meters {
+        self.deployment.distance(a, b)
+    }
+
+    /// The channel config in force.
+    pub fn channel_config(&self) -> &ChannelConfig {
+        &self.cfg.channel
+    }
+
+    /// Rebuild the reference channel (borrowing this world's
+    /// deployment) — for tests that cross-check the fast path.
+    pub fn reference_channel(&self) -> Channel<'_> {
+        Channel::new(&self.deployment, self.cfg.channel.clone(), self.cfg.sim.seed)
+    }
+}
+
+/// Epoch-stamped slot resolver with the same semantics as
+/// [`ffd2d_phy::Medium`]: per receiver and codec, a lone above-threshold
+/// signal decodes; several collide unless the strongest beats the
+/// runner-up by the capture margin; transmitters are half-duplex deaf.
+#[derive(Debug)]
+pub struct FastMedium {
+    /// Per `(receiver, codec)` accumulator epoch (slot-stamped).
+    stamp: Vec<u64>,
+    best: Vec<f64>,
+    second: Vec<f64>,
+    best_tx: Vec<u32>,
+    count: Vec<u32>,
+    touched: Vec<u32>,
+    /// Per-device transmit epoch (half-duplex tracking).
+    tx_stamp: Vec<u64>,
+    epoch: u64,
+}
+
+impl FastMedium {
+    /// A resolver for `n` devices.
+    pub fn new(n: usize) -> FastMedium {
+        FastMedium {
+            stamp: vec![0; n * 2],
+            best: vec![f64::NEG_INFINITY; n * 2],
+            second: vec![f64::NEG_INFINITY; n * 2],
+            best_tx: vec![0; n * 2],
+            count: vec![0; n * 2],
+            touched: Vec::with_capacity(64),
+            tx_stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    #[inline]
+    fn codec_index(codec: RachCodec) -> usize {
+        match codec {
+            RachCodec::Rach1 => 0,
+            RachCodec::Rach2 => 1,
+        }
+    }
+
+    /// Resolve one slot: every decoded `(receiver, signal, rx_dbm)`
+    /// triple is fed to `deliver` (the received power is what RSSI
+    /// ranging consumes), and `counters` tallies transmissions and
+    /// reception outcomes.
+    pub fn resolve<F: FnMut(DeviceId, &ProximitySignal, f64)>(
+        &mut self,
+        world: &World,
+        slot: Slot,
+        transmissions: &[ProximitySignal],
+        counters: &mut Counters,
+        mut deliver: F,
+    ) {
+        if transmissions.is_empty() {
+            return;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.touched.clear();
+
+        for tx in transmissions {
+            match tx.codec() {
+                RachCodec::Rach1 => counters.rach1_tx += 1,
+                RachCodec::Rach2 => counters.rach2_tx += 1,
+            }
+            self.tx_stamp[tx.sender as usize] = epoch;
+        }
+
+        for (ti, tx) in transmissions.iter().enumerate() {
+            let ci = Self::codec_index(tx.codec());
+            for &r in world.audible_candidates(tx.sender) {
+                if self.tx_stamp[r as usize] == epoch {
+                    continue; // half-duplex: transmitting receivers are deaf
+                }
+                let p = world.rx_dbm(tx.sender, r, slot);
+                if p < world.threshold_dbm() {
+                    counters.rx_below_threshold += 1;
+                    continue;
+                }
+                let k = r as usize * 2 + ci;
+                if self.stamp[k] != epoch {
+                    self.stamp[k] = epoch;
+                    self.best[k] = f64::NEG_INFINITY;
+                    self.second[k] = f64::NEG_INFINITY;
+                    self.count[k] = 0;
+                    self.touched.push(k as u32);
+                }
+                self.count[k] += 1;
+                if p > self.best[k] {
+                    self.second[k] = self.best[k];
+                    self.best[k] = p;
+                    self.best_tx[k] = ti as u32;
+                } else if p > self.second[k] {
+                    self.second[k] = p;
+                }
+            }
+        }
+
+        // Deterministic delivery order regardless of tx iteration
+        // pattern: sort touched keys.
+        self.touched.sort_unstable();
+        for i in 0..self.touched.len() {
+            let k = self.touched[i] as usize;
+            let receiver = (k / 2) as DeviceId;
+            let n_signals = self.count[k];
+            let decoded = if n_signals == 1 {
+                true
+            } else {
+                self.best[k] >= self.second[k] + world.capture_margin_db
+            };
+            if decoded {
+                counters.rx_ok += 1;
+                counters.rx_collision += (n_signals - 1) as u64;
+                let sig = transmissions[self.best_tx[k] as usize];
+                deliver(receiver, &sig, self.best[k]);
+            } else {
+                counters.rx_collision += n_signals as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffd2d_phy::frame::FrameKind;
+    use ffd2d_phy::medium::{Medium, Transmission};
+    use ffd2d_sim::time::SlotDuration;
+
+    fn small_cfg(n: usize, seed: u64) -> ScenarioConfig {
+        ScenarioConfig::table1(n)
+            .seeded(seed)
+            .with_max_slots(SlotDuration(1000))
+    }
+
+    fn fire(sender: u32) -> ProximitySignal {
+        ProximitySignal {
+            sender,
+            service: ServiceClass::KEEP_ALIVE,
+            kind: FrameKind::Fire {
+                fragment: sender,
+                age: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn world_is_deterministic_per_seed() {
+        let a = World::new(&small_cfg(20, 7));
+        let b = World::new(&small_cfg(20, 7));
+        assert_eq!(a.deployment().positions(), b.deployment().positions());
+        assert_eq!(a.services(), b.services());
+        assert_eq!(a.mean_rx_dbm(0, 1), b.mean_rx_dbm(0, 1));
+        let c = World::new(&small_cfg(20, 8));
+        assert_ne!(a.deployment().positions(), c.deployment().positions());
+    }
+
+    #[test]
+    fn mean_power_matches_reference_channel() {
+        let w = World::new(&small_cfg(15, 3));
+        let ch = w.reference_channel();
+        for a in 0..15u32 {
+            for b in 0..15u32 {
+                if a != b {
+                    assert_eq!(w.mean_rx_dbm(a, b), ch.mean_rx_power(a, b).get());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn instantaneous_power_matches_reference_channel() {
+        let w = World::new(&small_cfg(10, 4));
+        let ch = w.reference_channel();
+        for slot in [0u64, 7, 35, 1000] {
+            for a in 0..10u32 {
+                for b in 0..10u32 {
+                    if a != b {
+                        let fast = w.rx_dbm(a, b, Slot(slot));
+                        let reference = ch.rx_power(a, b, Slot(slot)).get();
+                        assert!(
+                            (fast - reference).abs() < 1e-9,
+                            "link {a}->{b} slot {slot}: {fast} vs {reference}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graph_edges_follow_threshold() {
+        let w = World::new(&small_cfg(25, 5));
+        let g = w.proximity_graph();
+        for a in 0..25u32 {
+            for b in (a + 1)..25u32 {
+                let linked = w.mean_rx_dbm(a, b) >= w.threshold_dbm();
+                assert_eq!(g.has_edge(a, b), linked, "edge {{{a},{b}}}");
+                if let Some(wt) = g.weight(a, b) {
+                    assert_eq!(wt.get(), w.mean_rx_dbm(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table1_area_is_fully_connected_without_shadowing() {
+        // 89 m nominal range in a 100 m × 100 m area: the ideal-channel
+        // proximity graph is (almost surely) connected and dense.
+        let cfg = small_cfg(50, 1).ideal_channel();
+        let w = World::new(&cfg);
+        assert!(ffd2d_graph::connectivity::is_connected(w.proximity_graph()));
+        let avg_degree = 2.0 * w.proximity_graph().m() as f64 / 50.0;
+        assert!(avg_degree > 30.0, "avg degree {avg_degree}");
+    }
+
+    #[test]
+    fn fast_medium_agrees_with_reference_medium() {
+        // Same transmissions, same slot: identical decode decisions.
+        let cfg = small_cfg(30, 11); // includes shadowing + fading
+        let w = World::new(&cfg);
+        let ch = w.reference_channel();
+        let reference = Medium::default();
+        let mut fast = FastMedium::new(30);
+        let receivers: Vec<u32> = (0..30).collect();
+
+        for slot in [0u64, 3, 21, 40, 77] {
+            let txs: Vec<ProximitySignal> =
+                vec![fire(slot as u32 % 30), fire((slot as u32 + 7) % 30), fire((slot as u32 + 19) % 30)];
+            let transmissions: Vec<Transmission> =
+                txs.iter().map(|&s| Transmission::new(s)).collect();
+
+            let mut ref_counters = Counters::new();
+            let ref_reports =
+                reference.resolve(&ch, Slot(slot), &transmissions, &receivers, &mut ref_counters);
+            let mut ref_pairs: Vec<(u32, u32)> = Vec::new();
+            for (r, report) in receivers.iter().zip(&ref_reports) {
+                for sig in &report.decoded {
+                    ref_pairs.push((*r, sig.sender));
+                }
+            }
+            ref_pairs.sort();
+
+            let mut fast_counters = Counters::new();
+            let mut fast_pairs: Vec<(u32, u32)> = Vec::new();
+            fast.resolve(&w, Slot(slot), &txs, &mut fast_counters, |r, sig, p| {
+                assert!(p >= w.threshold_dbm());
+                fast_pairs.push((r, sig.sender));
+            });
+            fast_pairs.sort();
+
+            assert_eq!(fast_pairs, ref_pairs, "slot {slot}");
+            assert_eq!(fast_counters.rx_ok, ref_counters.rx_ok, "slot {slot}");
+            assert_eq!(fast_counters.total_tx(), ref_counters.total_tx());
+        }
+    }
+
+    #[test]
+    fn fast_medium_empty_slot_is_free() {
+        let w = World::new(&small_cfg(5, 1));
+        let mut fast = FastMedium::new(5);
+        let mut counters = Counters::new();
+        fast.resolve(&w, Slot(0), &[], &mut counters, |_, _, _| {
+            panic!("nothing to deliver")
+        });
+        assert_eq!(counters.total_tx(), 0);
+    }
+
+    #[test]
+    fn services_cover_configured_classes() {
+        let mut cfg = small_cfg(200, 2);
+        cfg.protocol.service_classes = 4;
+        let w = World::new(&cfg);
+        let mut seen = std::collections::HashSet::new();
+        for s in w.services() {
+            assert!(s.0 < 4);
+            seen.insert(s.0);
+        }
+        assert_eq!(seen.len(), 4, "all classes should appear at n=200");
+    }
+}

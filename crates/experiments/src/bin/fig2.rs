@@ -1,0 +1,11 @@
+//! Regenerates an instance of the paper's Fig. 2 (the firefly spanning
+//! tree over 17 UEs). Pass a seed to vary the deployment.
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let fig = ffd2d_experiments::fig2::build(seed);
+    print!("{}", fig.rendering);
+}

@@ -1,0 +1,25 @@
+//! Regenerates the paper's Fig. 3 (convergence time vs. number of
+//! nodes, ST vs. FST).
+//!
+//! Usage: fig3 [--quick] [--trials N] [--max-n M] [--horizon SLOTS]
+//! Writes results/fig3.csv. The sweep is identical to fig4's — run
+//! `fig4` for the message view of the same simulations.
+
+use ffd2d_experiments::sweep::run_paper_sweep;
+
+fn main() {
+    let params = ffd2d_experiments::sweep_params_from_args();
+    eprintln!(
+        "running paired sweep: n = {:?}, {} trials, horizon {} slots ...",
+        params.node_counts, params.trials, params.horizon.0
+    );
+    let report = run_paper_sweep(&params);
+    println!("{}", report.to_table().to_markdown());
+    if let Some(x) = report.crossover(false) {
+        println!("time crossover (ST below FST) at n = {x}");
+    }
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/fig3.csv", report.fig3().to_csv());
+    let _ = std::fs::write("results/fig4.csv", report.fig4().to_csv());
+    eprintln!("wrote results/fig3.csv and results/fig4.csv (shared sweep)");
+}

@@ -1,0 +1,21 @@
+//! Regenerates the paper's Fig. 4 (average number of message exchanges
+//! vs. number of nodes, ST vs. FST). Same sweep as fig3.
+
+use ffd2d_experiments::sweep::run_paper_sweep;
+
+fn main() {
+    let params = ffd2d_experiments::sweep_params_from_args();
+    eprintln!(
+        "running paired sweep: n = {:?}, {} trials, horizon {} slots ...",
+        params.node_counts, params.trials, params.horizon.0
+    );
+    let report = run_paper_sweep(&params);
+    println!("{}", report.to_table().to_markdown());
+    if let Some(x) = report.crossover(true) {
+        println!("message crossover (ST below FST) at n = {x}");
+    }
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/fig3.csv", report.fig3().to_csv());
+    let _ = std::fs::write("results/fig4.csv", report.fig4().to_csv());
+    eprintln!("wrote results/fig3.csv and results/fig4.csv (shared sweep)");
+}

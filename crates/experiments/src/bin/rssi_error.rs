@@ -1,0 +1,17 @@
+//! Experiment E5: measured vs. closed-form RSSI ranging error.
+
+use ffd2d_experiments::rssi_error::{run, RssiErrorParams};
+
+fn main() {
+    let report = run(&RssiErrorParams::default());
+    println!("{}", report.to_table().to_markdown());
+    println!("ratio histogram (r*/r in [0,4), 40 bins):");
+    let total = report.histogram.total();
+    for (i, &c) in report.histogram.counts().iter().enumerate() {
+        let (lo, hi) = report.histogram.bin_bounds(i);
+        let bar = "#".repeat((c * 200 / total.max(1)) as usize);
+        if c > 0 {
+            println!("  [{lo:.1},{hi:.1}) {bar}");
+        }
+    }
+}

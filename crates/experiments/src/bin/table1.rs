@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table I from the live configuration
+//! defaults (experiment E1).
+
+fn main() {
+    println!("{}", ffd2d_experiments::table1::render().to_markdown());
+}

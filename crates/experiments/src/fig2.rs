@@ -1,0 +1,108 @@
+//! Fig. 2 — an instance of the basic firefly spanning tree.
+//!
+//! The paper's Fig. 2 shows a 17-UE example network whose devices
+//! "make synchronization by selecting heavy edges". This module builds
+//! a 17-UE deployment, derives the PS-strength proximity graph, runs
+//! the sequential Algorithm 1, and renders the resulting tree as an
+//! indented ASCII listing (plus summary facts the tests pin down).
+
+use ffd2d_core::reference::build_spanning_tree;
+use ffd2d_core::{ScenarioConfig, World};
+use ffd2d_graph::tree::RootedTree;
+use ffd2d_graph::Edge;
+use ffd2d_sim::time::SlotDuration;
+
+/// Number of UEs in the paper's Fig. 2 illustration.
+pub const FIG2_UES: usize = 17;
+
+/// The rendered figure.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// ASCII rendering of the spanning tree.
+    pub rendering: String,
+    /// The tree edges (canonical order).
+    pub edges: Vec<Edge>,
+    /// Total PS-strength weight of the tree.
+    pub total_weight_dbm: f64,
+    /// The surviving head (tree root).
+    pub head: u32,
+}
+
+/// Build and render the Fig. 2 instance for a given seed.
+pub fn build(seed: u64) -> Fig2 {
+    let cfg = ScenarioConfig::table1(FIG2_UES)
+        .seeded(seed)
+        .with_max_slots(SlotDuration(1));
+    let world = World::new(&cfg);
+    let st = build_spanning_tree(world.proximity_graph());
+    let head = st.heads[0];
+    let tree = RootedTree::from_edges(FIG2_UES, head, &st.forest.edges)
+        .expect("Fig. 2 deployment must be connected");
+
+    let mut rendering = String::new();
+    rendering.push_str(&format!(
+        "Firefly spanning tree over {FIG2_UES} UEs (head = UE{head})\n"
+    ));
+    // Depth-first indented rendering in deterministic child order.
+    let mut stack = vec![(head, 0usize)];
+    while let Some((v, depth)) = stack.pop() {
+        let pos = world.deployment().position(v);
+        rendering.push_str(&format!(
+            "{}UE{v:<3} at ({:5.1} m, {:5.1} m)\n",
+            "  ".repeat(depth),
+            pos.x,
+            pos.y
+        ));
+        let mut kids = tree.children(v).to_vec();
+        kids.sort_unstable_by(|a, b| b.cmp(a)); // stack pops smallest first
+        for c in kids {
+            stack.push((c, depth + 1));
+        }
+    }
+    rendering.push_str(&format!(
+        "{} edges, total PS strength {:.1} dBm-sum, height {}\n",
+        st.forest.edges.len(),
+        st.forest.total_weight().get(),
+        tree.height()
+    ));
+
+    let total_weight_dbm = st.forest.total_weight().get();
+    Fig2 {
+        rendering,
+        edges: st.forest.edges,
+        total_weight_dbm,
+        head,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffd2d_graph::mst::kruskal_max_st;
+
+    #[test]
+    fn seventeen_ues_sixteen_edges() {
+        let fig = build(42);
+        assert_eq!(fig.edges.len(), FIG2_UES - 1);
+        assert!(fig.rendering.contains("UE16"));
+        assert!(fig.rendering.lines().count() >= FIG2_UES + 1);
+    }
+
+    #[test]
+    fn tree_is_the_maximum_spanning_tree() {
+        let cfg = ScenarioConfig::table1(FIG2_UES)
+            .seeded(42)
+            .with_max_slots(SlotDuration(1));
+        let world = World::new(&cfg);
+        let fig = build(42);
+        let kruskal = kruskal_max_st(world.proximity_graph());
+        assert_eq!(fig.edges, kruskal.edges);
+        assert!((fig.total_weight_dbm - kruskal.total_weight().get()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(build(1).rendering, build(1).rendering);
+        assert_ne!(build(1).rendering, build(2).rendering);
+    }
+}

@@ -1,0 +1,56 @@
+//! # ffd2d-experiments — reproduction of every table and figure
+//!
+//! One module per paper artefact (see DESIGN.md §3 for the experiment
+//! index):
+//!
+//! | Module | Paper artefact |
+//! |--------|----------------|
+//! | [`table1`] | Table I — simulation parameters |
+//! | [`fig2`] | Fig. 2 — an instance of the firefly spanning tree |
+//! | [`sweep`] | Figs. 3 & 4 — convergence time and message exchanges vs. number of nodes, ST vs. FST (one Monte-Carlo sweep feeds both figures) |
+//! | [`rssi_error`] | §III eqs. (6)–(12) — measured vs. closed-form RSSI ranging error (E5) |
+//! | [`ablation`] | A1–A4 — shadowing σ, coupling ε, density, and topology ablations |
+//! | [`complexity`] | §V — O(n²) vs. O(n log n) firefly-update work (the paper's central complexity claim) |
+//!
+//! Every experiment is a pure function of its parameters + master seed
+//! and returns `ffd2d-metrics` figures/tables; the `src/bin/*` binaries
+//! print them and (optionally) write CSVs under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod complexity;
+pub mod fig2;
+pub mod rssi_error;
+pub mod sweep;
+pub mod table1;
+
+pub use sweep::{run_paper_sweep, SweepParams, SweepReport};
+
+/// Parse the common sweep flags shared by the `fig3`/`fig4` binaries:
+/// `--quick`, `--trials N`, `--max-n M`, `--horizon SLOTS`.
+pub fn sweep_params_from_args() -> SweepParams {
+    let args: Vec<String> = std::env::args().collect();
+    let mut params = if args.iter().any(|a| a == "--quick") {
+        SweepParams::quick()
+    } else {
+        SweepParams::default()
+    };
+    let value_of = |flag: &str| -> Option<u64> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    if let Some(t) = value_of("--trials") {
+        params.trials = t as u32;
+    }
+    if let Some(m) = value_of("--max-n") {
+        params.node_counts.retain(|&n| n as u64 <= m);
+    }
+    if let Some(h) = value_of("--horizon") {
+        params.horizon = ffd2d_sim::time::SlotDuration(h);
+    }
+    params
+}

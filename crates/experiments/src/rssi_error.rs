@@ -1,0 +1,146 @@
+//! Experiment E5 — the RSSI ranging error model (eqs. (6)–(12)).
+//!
+//! Validates the paper's analytical backbone end to end: deploy two
+//! devices at a known distance, sample the *actual simulated channel*
+//! (path loss + shadowing) over many trials, range through the
+//! inverted path-loss model, and compare the measured distribution of
+//! the ratio `r*/r = 1 + ε` against its log-normal closed form.
+
+use ffd2d_metrics::{Histogram, Summary, Table};
+use ffd2d_radio::pathloss::PathLoss;
+use ffd2d_radio::rssi::{ranging_error_stats, RangingEstimate};
+use ffd2d_radio::shadowing::ShadowingField;
+use ffd2d_radio::units::Dbm;
+use ffd2d_sim::deployment::Meters;
+
+/// Parameters of the E5 experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct RssiErrorParams {
+    /// True link distance.
+    pub distance: Meters,
+    /// Shadowing standard deviation (Table I: 10 dB).
+    pub sigma_db: f64,
+    /// Monte-Carlo links sampled.
+    pub samples: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for RssiErrorParams {
+    fn default() -> Self {
+        RssiErrorParams {
+            distance: Meters(40.0),
+            sigma_db: 10.0,
+            samples: 50_000,
+            seed: 0xE5,
+        }
+    }
+}
+
+/// Outcome: measured vs. theoretical moments plus the ratio histogram.
+#[derive(Debug, Clone)]
+pub struct RssiErrorReport {
+    /// Measured `E[1+ε]` etc.
+    pub measured: Summary,
+    /// Closed-form mean of `1+ε`.
+    pub theory_mean: f64,
+    /// Closed-form std of `1+ε`.
+    pub theory_std: f64,
+    /// Histogram of the ratio `r*/r`.
+    pub histogram: Histogram,
+}
+
+/// Run E5.
+pub fn run(params: &RssiErrorParams) -> RssiErrorReport {
+    let model = PathLoss::outdoor_log_distance();
+    let exponent = model.ranging_exponent();
+    let tx = Dbm(23.0);
+    let field = ShadowingField::new(params.seed, params.sigma_db);
+    let mut measured = Summary::new();
+    let mut histogram = Histogram::new(0.0, 4.0, 40);
+    for i in 0..params.samples {
+        // One independent link per sample.
+        let x = field.sample(i, i + 1_000_000);
+        let rx = tx - model.loss(params.distance) - x;
+        let est = RangingEstimate::from_rx(tx, rx, &model);
+        let ratio = est.distance.0 / params.distance.0;
+        measured.push(ratio);
+        histogram.record(ratio);
+    }
+    let stats = ranging_error_stats(params.sigma_db, exponent);
+    RssiErrorReport {
+        measured,
+        theory_mean: stats.mean_ratio,
+        theory_std: stats.std_ratio,
+        histogram,
+    }
+}
+
+impl RssiErrorReport {
+    /// Markdown table for EXPERIMENTS.md.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(["Quantity", "Measured", "Closed form (eq. 12)"]);
+        t.push_row([
+            "E[r*/r]".into(),
+            format!("{:.4}", self.measured.mean()),
+            format!("{:.4}", self.theory_mean),
+        ]);
+        t.push_row([
+            "std[r*/r]".into(),
+            format!("{:.4}", self.measured.std_dev()),
+            format!("{:.4}", self.theory_std),
+        ]);
+        t.push_row([
+            "min / max".into(),
+            format!("{:.3} / {:.3}", self.measured.min(), self.measured.max()),
+            "(0, ∞) support".into(),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_moments_match_theory() {
+        let report = run(&RssiErrorParams {
+            samples: 30_000,
+            ..RssiErrorParams::default()
+        });
+        let rel_mean = (report.measured.mean() - report.theory_mean).abs() / report.theory_mean;
+        assert!(rel_mean < 0.03, "mean off by {rel_mean}");
+        let rel_std =
+            (report.measured.std_dev() - report.theory_std).abs() / report.theory_std;
+        assert!(rel_std < 0.1, "std off by {rel_std}");
+    }
+
+    #[test]
+    fn median_is_unbiased() {
+        // The dB-symmetric shadowing makes the *median* ratio exactly 1
+        // even though the mean is biased high (log-normal).
+        let report = run(&RssiErrorParams::default());
+        // Mode/median proxy: the histogram bin containing ratio 1.0
+        // should be near the peak.
+        let unit_bin = (1.0 / 4.0 * 40.0) as usize;
+        let mode = report.histogram.mode_bin().unwrap();
+        assert!(
+            (mode as i64 - unit_bin as i64).abs() <= 3,
+            "mode bin {mode} vs unit bin {unit_bin}"
+        );
+        assert!(report.measured.mean() > 1.0, "log-normal mean bias");
+    }
+
+    #[test]
+    fn zero_shadowing_gives_exact_ranging() {
+        let report = run(&RssiErrorParams {
+            sigma_db: 0.0,
+            samples: 100,
+            ..RssiErrorParams::default()
+        });
+        assert!((report.measured.mean() - 1.0).abs() < 1e-9);
+        assert_eq!(report.measured.std_dev(), 0.0);
+        assert_eq!(report.theory_mean, 1.0);
+    }
+}

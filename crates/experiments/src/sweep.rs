@@ -1,0 +1,275 @@
+//! The Figs. 3 & 4 Monte-Carlo sweep.
+//!
+//! The paper's two result figures come from the same simulations:
+//!
+//! * **Fig. 3** — mean convergence time versus number of nodes, for the
+//!   proposed ST method and the FST baseline;
+//! * **Fig. 4** — mean number of control-message exchanges until
+//!   convergence, same axes.
+//!
+//! [`run_paper_sweep`] runs `trials` independent deployments per node
+//! count, executes *both* protocols in each (paired on the identical
+//! world: same positions, shadowing, fading — so the comparison is a
+//! matched-pairs design), and reduces to the two figures plus a
+//! markdown table for EXPERIMENTS.md.
+//!
+//! Trials that do not converge within the horizon are **censored at the
+//! horizon** (the value plotted is a lower bound) and reported in the
+//! `censored` columns — at large populations FST routinely fails to
+//! converge at all, which is itself the paper's point.
+
+use serde::{Deserialize, Serialize};
+
+use ffd2d_baseline::FstProtocol;
+use ffd2d_core::{ScenarioConfig, StProtocol, World};
+use ffd2d_metrics::{Figure, Series, Summary, Table};
+use ffd2d_parallel::{run_trials, SweepConfig};
+use ffd2d_sim::time::SlotDuration;
+
+/// Sweep parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepParams {
+    /// Node counts (the x-axis of Figs. 3–4).
+    pub node_counts: Vec<usize>,
+    /// Monte-Carlo trials per node count.
+    pub trials: u32,
+    /// Simulation horizon per trial (censoring point).
+    pub horizon: SlotDuration,
+    /// Master seed.
+    pub master_seed: u64,
+}
+
+impl Default for SweepParams {
+    fn default() -> Self {
+        SweepParams {
+            node_counts: vec![50, 100, 200, 400, 600, 800, 1000],
+            trials: 5,
+            horizon: SlotDuration(30_000),
+            master_seed: 0xF193_D2D,
+        }
+    }
+}
+
+impl SweepParams {
+    /// A fast configuration for tests and smoke runs.
+    pub fn quick() -> SweepParams {
+        SweepParams {
+            node_counts: vec![20, 50, 100],
+            trials: 2,
+            horizon: SlotDuration(30_000),
+            master_seed: 7,
+        }
+    }
+}
+
+/// Per-(protocol, node-count) reduced results.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CellStats {
+    /// Convergence time in ms (censored at the horizon).
+    pub time_ms: Summary,
+    /// Total control messages transmitted.
+    pub messages: Summary,
+    /// Trials that failed to converge within the horizon.
+    pub censored: u32,
+}
+
+/// The complete sweep output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Parameters the sweep ran with.
+    pub params: SweepParams,
+    /// Per node count: `(n, ST stats, FST stats)`.
+    pub cells: Vec<(usize, CellStats, CellStats)>,
+}
+
+/// One trial's paired raw outcome.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct PairedOutcome {
+    st_time: u64,
+    st_msgs: u64,
+    st_converged: bool,
+    fst_time: u64,
+    fst_msgs: u64,
+    fst_converged: bool,
+}
+
+/// Run the full paired sweep.
+pub fn run_paper_sweep(params: &SweepParams) -> SweepReport {
+    let cfg = SweepConfig {
+        master_seed: params.master_seed,
+        trials: params.trials,
+    };
+    let horizon = params.horizon;
+    let grouped = run_trials(&params.node_counts, &cfg, |&n, ctx| {
+        let scenario = ScenarioConfig::table1(n)
+            .seeded(ctx.seed)
+            .with_max_slots(horizon);
+        let world = World::new(&scenario);
+        let st = StProtocol::run_in(&world);
+        let fst = FstProtocol::run_in(&world);
+        PairedOutcome {
+            st_time: st.time_or(horizon).as_millis(),
+            st_msgs: st.messages(),
+            st_converged: st.converged(),
+            fst_time: fst.time_or(horizon).as_millis(),
+            fst_msgs: fst.messages(),
+            fst_converged: fst.converged(),
+        }
+    });
+
+    let cells = params
+        .node_counts
+        .iter()
+        .zip(grouped)
+        .map(|(&n, outcomes)| {
+            let mut st = CellStats {
+                time_ms: Summary::new(),
+                messages: Summary::new(),
+                censored: 0,
+            };
+            let mut fst = st;
+            for o in outcomes {
+                st.time_ms.push(o.st_time as f64);
+                st.messages.push(o.st_msgs as f64);
+                st.censored += u32::from(!o.st_converged);
+                fst.time_ms.push(o.fst_time as f64);
+                fst.messages.push(o.fst_msgs as f64);
+                fst.censored += u32::from(!o.fst_converged);
+            }
+            (n, st, fst)
+        })
+        .collect();
+    SweepReport {
+        params: params.clone(),
+        cells,
+    }
+}
+
+impl SweepReport {
+    fn figure(&self, title: &str, y_axis: &str, pick: impl Fn(&CellStats) -> Summary) -> Figure {
+        let mut st = Series::new("ST (proposed)");
+        let mut fst = Series::new("FST (Chao et al.)");
+        for &(n, st_c, fst_c) in &self.cells {
+            let s = pick(&st_c);
+            st.push_with_error(n as f64, s.mean(), s.ci95_half_width());
+            let f = pick(&fst_c);
+            fst.push_with_error(n as f64, f.mean(), f.ci95_half_width());
+        }
+        let mut fig = Figure::new(title, "number of nodes", y_axis);
+        fig.series.push(st);
+        fig.series.push(fst);
+        fig
+    }
+
+    /// Fig. 3 — convergence time (ms) vs. node count.
+    pub fn fig3(&self) -> Figure {
+        self.figure(
+            "Fig. 3 — convergence time, ST vs FST",
+            "convergence time (ms)",
+            |c| c.time_ms,
+        )
+    }
+
+    /// Fig. 4 — message exchanges vs. node count.
+    pub fn fig4(&self) -> Figure {
+        self.figure(
+            "Fig. 4 — average message exchanges, ST vs FST",
+            "messages until convergence",
+            |c| c.messages,
+        )
+    }
+
+    /// Markdown table for EXPERIMENTS.md.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new([
+            "n",
+            "ST time ms (±ci95)",
+            "FST time ms (±ci95)",
+            "ST msgs",
+            "FST msgs",
+            "ST censored",
+            "FST censored",
+        ]);
+        for &(n, st, fst) in &self.cells {
+            t.push_row([
+                n.to_string(),
+                format!("{:.0} (±{:.0})", st.time_ms.mean(), st.time_ms.ci95_half_width()),
+                format!(
+                    "{:.0} (±{:.0})",
+                    fst.time_ms.mean(),
+                    fst.time_ms.ci95_half_width()
+                ),
+                format!("{:.0}", st.messages.mean()),
+                format!("{:.0}", fst.messages.mean()),
+                format!("{}/{}", st.censored, self.params.trials),
+                format!("{}/{}", fst.censored, self.params.trials),
+            ]);
+        }
+        t
+    }
+
+    /// The first node count at which the ST mean drops strictly below
+    /// the FST mean for the given metric — the crossover the paper's
+    /// figures highlight.
+    pub fn crossover(&self, messages: bool) -> Option<usize> {
+        self.cells
+            .iter()
+            .find(|&&(_, st, fst)| {
+                if messages {
+                    st.messages.mean() < fst.messages.mean()
+                } else {
+                    st.time_ms.mean() < fst.time_ms.mean()
+                }
+            })
+            .map(|&(n, _, _)| n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_has_full_shape() {
+        let report = run_paper_sweep(&SweepParams::quick());
+        assert_eq!(report.cells.len(), 3);
+        for &(_, st, fst) in &report.cells {
+            assert_eq!(st.time_ms.count(), 2);
+            assert_eq!(fst.time_ms.count(), 2);
+            assert!(st.messages.mean() > 0.0);
+            assert!(fst.messages.mean() > 0.0);
+        }
+        let fig3 = report.fig3();
+        assert_eq!(fig3.series.len(), 2);
+        assert_eq!(fig3.series[0].points.len(), 3);
+        let csv = report.fig4().to_csv();
+        assert!(csv.contains("ST (proposed)"));
+        let table = report.to_table();
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = run_paper_sweep(&SweepParams::quick());
+        let b = run_paper_sweep(&SweepParams::quick());
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.1.time_ms.mean(), y.1.time_ms.mean());
+            assert_eq!(x.2.messages.mean(), y.2.messages.mean());
+        }
+    }
+
+    #[test]
+    fn small_n_favors_fst_messages() {
+        // The left side of Fig. 4: mesh beats tree on messages at tiny n.
+        let params = SweepParams {
+            node_counts: vec![20],
+            trials: 2,
+            horizon: SlotDuration(60_000),
+            master_seed: 3,
+        };
+        let report = run_paper_sweep(&params);
+        let (_, st, fst) = report.cells[0];
+        assert!(fst.messages.mean() < st.messages.mean());
+    }
+}

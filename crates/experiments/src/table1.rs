@@ -1,0 +1,87 @@
+//! Table I — simulation parameters.
+//!
+//! The paper's Table I is the scenario definition; here it is *checked*
+//! rather than merely printed: the rendered table is generated from the
+//! live configuration defaults, so if a default ever drifts from the
+//! paper the test below fails.
+
+use ffd2d_core::ScenarioConfig;
+use ffd2d_metrics::Table;
+use ffd2d_radio::pathloss::PathLoss;
+
+/// Render Table I from the workspace's configuration defaults.
+pub fn render() -> Table {
+    let cfg = ScenarioConfig::table1(50);
+    let mut t = Table::new(["Parameter", "Paper (Table I)", "Configured default"]);
+    t.push_row([
+        "Device power".into(),
+        "23 dBm".into(),
+        format!("{}", cfg.channel.tx_power),
+    ]);
+    t.push_row([
+        "Threshold".into(),
+        "-95 dBm".into(),
+        format!("{}", cfg.channel.detection_threshold),
+    ]);
+    t.push_row([
+        "Device density".into(),
+        "50 devices in 100 m*100 m".into(),
+        format!(
+            "{} devices in {:.0} m*{:.0} m",
+            cfg.sim.n_devices,
+            cfg.sim.area_width.get(),
+            cfg.sim.area_height.get()
+        ),
+    ]);
+    t.push_row([
+        "Fast fading".into(),
+        "UMi (NLOS)".into(),
+        format!("{:?}", cfg.channel.fading),
+    ]);
+    t.push_row([
+        "Shadowing std dev".into(),
+        "10 dB".into(),
+        format!("{} dB", cfg.channel.shadowing_sigma_db),
+    ]);
+    t.push_row([
+        "Time slot".into(),
+        "1 ms".into(),
+        format!("{} ms", ffd2d_sim::time::SLOT_MILLIS),
+    ]);
+    t.push_row([
+        "Propagation model".into(),
+        "PL=4.35+25log10(d) if d<6; 40+40log10(d) otherwise".into(),
+        match cfg.channel.pathloss {
+            PathLoss::PaperPiecewise => "PaperPiecewise (same formulas)".into(),
+            other => format!("{other:?}"),
+        },
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1_exactly() {
+        let cfg = ScenarioConfig::table1(50);
+        assert_eq!(cfg.channel.tx_power.get(), 23.0);
+        assert_eq!(cfg.channel.detection_threshold.get(), -95.0);
+        assert_eq!(cfg.sim.n_devices, 50);
+        assert_eq!(cfg.sim.area_width.get(), 100.0);
+        assert_eq!(cfg.channel.shadowing_sigma_db, 10.0);
+        assert_eq!(ffd2d_sim::time::SLOT_MILLIS, 1);
+        assert_eq!(cfg.channel.pathloss, PathLoss::PaperPiecewise);
+    }
+
+    #[test]
+    fn render_has_all_seven_rows() {
+        let t = render();
+        assert_eq!(t.len(), 7);
+        let md = t.to_markdown();
+        assert!(md.contains("23.00 dBm"));
+        assert!(md.contains("-95.00 dBm"));
+        assert!(md.contains("10 dB"));
+    }
+}

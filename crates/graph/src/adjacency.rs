@@ -1,0 +1,266 @@
+//! Weighted undirected graph representation.
+//!
+//! [`WeightedGraph`] stores an undirected simple graph with `u32` vertex
+//! ids and [`W`] weights, as per-vertex adjacency vectors. The proximity
+//! graphs it holds are dense in the paper's fixed 100 m × 100 m arena
+//! (nearly full mesh), so adjacency vectors are pre-sized and edges are
+//! stored once per direction for O(deg) neighbour scans.
+
+use serde::{Deserialize, Serialize};
+
+use crate::weight::W;
+use crate::VertexId;
+
+/// An undirected weighted edge; canonical form has `u < v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: VertexId,
+    /// Larger endpoint.
+    pub v: VertexId,
+    /// Edge weight (PS strength).
+    pub w: W,
+}
+
+impl Edge {
+    /// Construct an edge, canonicalising endpoint order.
+    pub fn new(a: VertexId, b: VertexId, w: W) -> Edge {
+        assert_ne!(a, b, "self-loops are not allowed in proximity graphs");
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        Edge { u, v, w }
+    }
+
+    /// The endpoint that is not `x`. Panics if `x` is not an endpoint.
+    pub fn other(&self, x: VertexId) -> VertexId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("vertex {x} is not an endpoint of {self:?}")
+        }
+    }
+
+    /// Deterministic tie-break key: weight descending, then endpoints
+    /// ascending. Two edges compare equal only if identical.
+    pub fn heavy_key(&self) -> (W, core::cmp::Reverse<(VertexId, VertexId)>) {
+        (self.w, core::cmp::Reverse((self.u, self.v)))
+    }
+}
+
+/// Undirected weighted simple graph with dense `0..n` vertex ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WeightedGraph {
+    adj: Vec<Vec<(VertexId, W)>>,
+    m: usize,
+}
+
+impl WeightedGraph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        WeightedGraph {
+            adj: vec![Vec::new(); n],
+            m: 0,
+        }
+    }
+
+    /// Build from an edge list.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = Edge>) -> Self {
+        let mut g = WeightedGraph::new(n);
+        for e in edges {
+            g.add_edge(e.u, e.v, e.w);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Add the undirected edge `{a, b}` with weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// On self-loops, out-of-range endpoints, or duplicate edges.
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId, w: W) {
+        assert_ne!(a, b, "self-loops are not allowed");
+        assert!((a as usize) < self.n() && (b as usize) < self.n());
+        debug_assert!(
+            !self.has_edge(a, b),
+            "duplicate edge {{{a}, {b}}} in simple graph"
+        );
+        self.adj[a as usize].push((b, w));
+        self.adj[b as usize].push((a, w));
+        self.m += 1;
+    }
+
+    /// True if `{a, b}` is an edge.
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        self.adj
+            .get(a as usize)
+            .is_some_and(|nbrs| nbrs.iter().any(|&(x, _)| x == b))
+    }
+
+    /// The weight of edge `{a, b}`, if present.
+    pub fn weight(&self, a: VertexId, b: VertexId) -> Option<W> {
+        self.adj[a as usize]
+            .iter()
+            .find(|&&(x, _)| x == b)
+            .map(|&(_, w)| w)
+    }
+
+    /// Neighbours of `v` with edge weights.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, W)] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// All edges in canonical form (each once), in insertion-independent
+    /// sorted order.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.m);
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            for &(v, w) in nbrs {
+                if (u as VertexId) < v {
+                    out.push(Edge {
+                        u: u as VertexId,
+                        v,
+                        w,
+                    });
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Total weight over all edges.
+    pub fn total_weight(&self) -> W {
+        self.edges().into_iter().map(|e| e.w).sum()
+    }
+
+    /// The heaviest edge incident to `v` whose other endpoint satisfies
+    /// `pred`, with deterministic tie-breaking. This is the
+    /// "highest-weighted edge ∉ S_v adjacent to v" selection of
+    /// Algorithm 2.
+    pub fn best_incident<F: Fn(VertexId) -> bool>(&self, v: VertexId, pred: F) -> Option<Edge> {
+        self.adj[v as usize]
+            .iter()
+            .filter(|&&(u, _)| pred(u))
+            .map(|&(u, w)| Edge::new(v, u, w))
+            .max_by(|a, b| a.heavy_key().cmp(&b.heavy_key()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(x: f64) -> W {
+        W::new(x)
+    }
+
+    fn triangle() -> WeightedGraph {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, w(1.0));
+        g.add_edge(1, 2, w(2.0));
+        g.add_edge(0, 2, w(3.0));
+        g
+    }
+
+    #[test]
+    fn edge_canonicalises_endpoints() {
+        let e = Edge::new(5, 2, w(1.0));
+        assert_eq!((e.u, e.v), (2, 5));
+        assert_eq!(e.other(2), 5);
+        assert_eq!(e.other(5), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_rejects_non_endpoint() {
+        Edge::new(0, 1, w(1.0)).other(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let _ = Edge::new(3, 3, w(1.0));
+    }
+
+    #[test]
+    fn counts_and_lookups() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(1), 2);
+        assert!(g.has_edge(0, 2) && g.has_edge(2, 0));
+        assert_eq!(g.weight(1, 2), Some(w(2.0)));
+        assert_eq!(g.weight(0, 1), Some(w(1.0)));
+    }
+
+    #[test]
+    fn edges_listed_once_in_canonical_order() {
+        let g = triangle();
+        let es = g.edges();
+        assert_eq!(es.len(), 3);
+        assert!(es.windows(2).all(|p| p[0] <= p[1]));
+        for e in &es {
+            assert!(e.u < e.v);
+        }
+        assert_eq!(g.total_weight(), w(6.0));
+    }
+
+    #[test]
+    fn best_incident_picks_heaviest_allowed() {
+        let g = triangle();
+        let best = g.best_incident(0, |_| true).unwrap();
+        assert_eq!((best.u, best.v), (0, 2));
+        // Exclude vertex 2 → next best is the edge to 1.
+        let best = g.best_incident(0, |u| u != 2).unwrap();
+        assert_eq!((best.u, best.v), (0, 1));
+        // Exclude everything → none.
+        assert!(g.best_incident(0, |_| false).is_none());
+    }
+
+    #[test]
+    fn best_incident_tie_break_is_deterministic() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, w(5.0));
+        g.add_edge(0, 2, w(5.0));
+        g.add_edge(0, 3, w(5.0));
+        // Equal weights: lowest endpoint pair wins.
+        let best = g.best_incident(0, |_| true).unwrap();
+        assert_eq!((best.u, best.v), (0, 1));
+    }
+
+    #[test]
+    fn from_edges_round_trip() {
+        let es = triangle().edges();
+        let g2 = WeightedGraph::from_edges(3, es.iter().copied());
+        assert_eq!(g2.edges(), es);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edge_rejected() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 1, w(1.0));
+        g.add_edge(1, 0, w(2.0));
+    }
+}

@@ -1,0 +1,87 @@
+//! Connected components.
+//!
+//! The firefly protocols can only synchronize devices that are mutually
+//! reachable; experiments verify connectivity of the proximity graph
+//! before measuring convergence (a disconnected deployment can never
+//! reach `|ST| = 1`).
+
+use crate::adjacency::WeightedGraph;
+use crate::VertexId;
+
+/// Component labels (`0..k`, by order of first discovery) for every
+/// vertex, plus the component count.
+pub fn components(g: &WeightedGraph) -> (Vec<u32>, usize) {
+    let n = g.n();
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..n as VertexId {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        label[start as usize] = next;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &(u, _) in g.neighbors(v) {
+                if label[u as usize] == u32::MAX {
+                    label[u as usize] = next;
+                    stack.push(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next as usize)
+}
+
+/// True if the graph is connected (vacuously true for `n ≤ 1`).
+pub fn is_connected(g: &WeightedGraph) -> bool {
+    components(g).1 <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weight::W;
+
+    #[test]
+    fn empty_graph() {
+        let g = WeightedGraph::new(0);
+        assert!(is_connected(&g));
+        assert_eq!(components(&g).1, 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = WeightedGraph::new(3);
+        let (labels, k) = components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(labels, vec![0, 1, 2]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn path_is_connected() {
+        let mut g = WeightedGraph::new(4);
+        for i in 0..3 {
+            g.add_edge(i, i + 1, W::new(1.0));
+        }
+        assert!(is_connected(&g));
+        let (labels, k) = components(&g);
+        assert_eq!(k, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn two_components_labelled_by_discovery() {
+        let mut g = WeightedGraph::new(5);
+        g.add_edge(0, 1, W::new(1.0));
+        g.add_edge(3, 4, W::new(1.0));
+        let (labels, k) = components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[2], labels[3]);
+    }
+}

@@ -1,0 +1,54 @@
+//! # ffd2d-graph — graph substrate for proximity networks
+//!
+//! §IV of the paper models the D2D network as a weighted graph
+//! `G(V, E)`: vertices are devices, edges are links whose weight is
+//! "directly proportional to PS strength observed by nodes". The
+//! proposed Algorithm 1 builds a spanning structure "keeping in mind GHS
+//! and Borůvka's algorithm", selecting **heavy** (strongest) edges — a
+//! *maximum*-weight spanning tree, so that synchronization pulses travel
+//! over the most reliable links.
+//!
+//! This crate provides everything the protocol layers need:
+//!
+//! * [`weight`] — totally-ordered `f64` edge weights (graphs never
+//!   contain NaN weights; the order is asserted, not assumed).
+//! * [`adjacency`] — the [`adjacency::WeightedGraph`] representation
+//!   (compact adjacency lists, `u32` vertex ids).
+//! * [`unionfind`] — union–find with path halving + union by rank.
+//! * [`mst`] — sequential maximum-spanning-tree algorithms: Kruskal,
+//!   Prim, and Borůvka with per-round statistics (the round structure is
+//!   what the distributed protocol's message complexity follows).
+//! * [`fragments`] — GHS-style fragment bookkeeping used by the
+//!   distributed spanning-tree protocol in `ffd2d-core`: fragment
+//!   membership, heads, best-outgoing-edge queries and merge operations.
+//! * [`tree`] — rooted-tree utilities (parent arrays, BFS orders,
+//!   depths, spanning-tree validation).
+//! * [`connectivity`] — connected components.
+//!
+//! All algorithms here are deterministic; ties between equal weights are
+//! broken by the smaller `(min endpoint, max endpoint)` pair so that
+//! every implementation produces the *same* spanning forest on the same
+//! input — which the test-suite exploits by cross-checking Kruskal,
+//! Prim and Borůvka against each other.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod connectivity;
+pub mod fragments;
+pub mod mst;
+pub mod tree;
+pub mod unionfind;
+pub mod weight;
+
+pub use adjacency::{Edge, WeightedGraph};
+pub use connectivity::components;
+pub use fragments::FragmentForest;
+pub use mst::{boruvka_max_st, kruskal_max_st, prim_max_st, SpanningForest};
+pub use tree::RootedTree;
+pub use unionfind::UnionFind;
+pub use weight::W;
+
+/// Vertex identifier (dense `0..n`, matching `ffd2d_sim` device ids).
+pub type VertexId = u32;

@@ -1,0 +1,310 @@
+//! Maximum-weight spanning forests.
+//!
+//! The paper's Algorithm 1 grows a spanning structure by repeatedly
+//! "selecting heavy edges" — the distributed classic of Gallager,
+//! Humblet & Spira (GHS), which is Borůvka's algorithm run by the
+//! fragments themselves. To validate the distributed protocol, this
+//! module implements three *sequential* maximum-spanning-tree
+//! algorithms:
+//!
+//! * [`kruskal_max_st`] — sort all edges heavy-first, union–find.
+//! * [`prim_max_st`] — heap-based growth from vertex 0 of each
+//!   component.
+//! * [`boruvka_max_st`] — per-fragment best-edge rounds; also reports
+//!   per-round statistics, since the distributed protocol's running time
+//!   and message complexity follow the Borůvka round structure
+//!   (`⌈log₂ n⌉` rounds on any connected graph).
+//!
+//! With distinct edge weights the maximum spanning forest is unique, so
+//! all three must return identical edge sets — a property the tests
+//! check on random graphs. PS-strength weights are continuous random
+//! variables, so distinctness holds almost surely in every simulation;
+//! ties are nonetheless broken deterministically (see
+//! [`Edge::heavy_key`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::adjacency::{Edge, WeightedGraph};
+use crate::unionfind::UnionFind;
+use crate::weight::W;
+use crate::VertexId;
+
+/// A spanning forest: the chosen edges plus bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanningForest {
+    /// Chosen edges in canonical sorted order.
+    pub edges: Vec<Edge>,
+    /// Number of trees in the forest (connected graph → 1).
+    pub tree_count: usize,
+}
+
+impl SpanningForest {
+    fn from_edges(mut edges: Vec<Edge>, n: usize) -> Self {
+        edges.sort();
+        let tree_count = n - edges.len();
+        SpanningForest { edges, tree_count }
+    }
+
+    /// Sum of chosen edge weights.
+    pub fn total_weight(&self) -> W {
+        self.edges.iter().map(|e| e.w).sum()
+    }
+
+    /// True if the forest spans a connected graph as a single tree.
+    pub fn is_single_tree(&self) -> bool {
+        self.tree_count == 1
+    }
+}
+
+/// Kruskal's algorithm, heaviest edge first.
+pub fn kruskal_max_st(g: &WeightedGraph) -> SpanningForest {
+    let mut edges = g.edges();
+    // Heavy first; deterministic tie-break on endpoints.
+    edges.sort_by(|a, b| b.heavy_key().cmp(&a.heavy_key()));
+    let mut uf = UnionFind::new(g.n());
+    let mut chosen = Vec::with_capacity(g.n().saturating_sub(1));
+    for e in edges {
+        if uf.union(e.u, e.v) {
+            chosen.push(e);
+            if chosen.len() + 1 == g.n() {
+                break;
+            }
+        }
+    }
+    SpanningForest::from_edges(chosen, g.n())
+}
+
+/// Prim's algorithm (restarted per component), maximising weight.
+pub fn prim_max_st(g: &WeightedGraph) -> SpanningForest {
+    use std::collections::BinaryHeap;
+    let n = g.n();
+    let mut in_tree = vec![false; n];
+    let mut chosen = Vec::with_capacity(n.saturating_sub(1));
+    let mut heap: BinaryHeap<(W, core::cmp::Reverse<(VertexId, VertexId)>)> = BinaryHeap::new();
+
+    for start in 0..n as VertexId {
+        if in_tree[start as usize] {
+            continue;
+        }
+        in_tree[start as usize] = true;
+        for &(u, w) in g.neighbors(start) {
+            heap.push((w, core::cmp::Reverse((start.min(u), start.max(u)))));
+        }
+        while let Some((w, core::cmp::Reverse((a, b)))) = heap.pop() {
+            // One endpoint is inside; identify the outside one (if any).
+            let outside = match (in_tree[a as usize], in_tree[b as usize]) {
+                (true, false) => b,
+                (false, true) => a,
+                _ => continue,
+            };
+            chosen.push(Edge::new(a, b, w));
+            in_tree[outside as usize] = true;
+            for &(u, uw) in g.neighbors(outside) {
+                if !in_tree[u as usize] {
+                    heap.push((uw, core::cmp::Reverse((outside.min(u), outside.max(u)))));
+                }
+            }
+        }
+    }
+    SpanningForest::from_edges(chosen, n)
+}
+
+/// Statistics of one Borůvka round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoruvkaRound {
+    /// Fragments alive at the start of the round.
+    pub fragments_before: usize,
+    /// Fragments alive after the round's merges.
+    pub fragments_after: usize,
+    /// Edges added in this round.
+    pub edges_added: usize,
+}
+
+/// Borůvka's algorithm, maximising weight, with per-round statistics.
+pub fn boruvka_max_st(g: &WeightedGraph) -> (SpanningForest, Vec<BoruvkaRound>) {
+    let n = g.n();
+    let mut uf = UnionFind::new(n);
+    let mut chosen: Vec<Edge> = Vec::with_capacity(n.saturating_sub(1));
+    let mut rounds = Vec::new();
+    let all_edges = g.edges();
+
+    loop {
+        let before = uf.set_count();
+        // Best outgoing edge per fragment.
+        let mut best: Vec<Option<Edge>> = vec![None; n];
+        for &e in &all_edges {
+            let (ru, rv) = (uf.find(e.u), uf.find(e.v));
+            if ru == rv {
+                continue;
+            }
+            for r in [ru, rv] {
+                let slot = &mut best[r as usize];
+                if slot.map_or(true, |cur| e.heavy_key() > cur.heavy_key()) {
+                    *slot = Some(e);
+                }
+            }
+        }
+        let mut added = 0;
+        for e in best.into_iter().flatten() {
+            if uf.union(e.u, e.v) {
+                chosen.push(e);
+                added += 1;
+            }
+        }
+        rounds.push(BoruvkaRound {
+            fragments_before: before,
+            fragments_after: uf.set_count(),
+            edges_added: added,
+        });
+        if added == 0 {
+            break;
+        }
+    }
+    (SpanningForest::from_edges(chosen, n), rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(x: f64) -> W {
+        W::new(x)
+    }
+
+    /// Small graph with a known maximum spanning tree.
+    fn known_graph() -> WeightedGraph {
+        // 0-1:4  0-2:3  1-2:5  1-3:2  2-3:6
+        // Max ST: {2-3:6, 1-2:5, 0-1:4} total 15.
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, w(4.0));
+        g.add_edge(0, 2, w(3.0));
+        g.add_edge(1, 2, w(5.0));
+        g.add_edge(1, 3, w(2.0));
+        g.add_edge(2, 3, w(6.0));
+        g
+    }
+
+    fn random_graph(n: usize, p: f64, seed: u64) -> WeightedGraph {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = ffd2d_sim::rng::Xoshiro256StarStar::seed_from_u64(seed);
+        let mut g = WeightedGraph::new(n);
+        for a in 0..n as VertexId {
+            for b in (a + 1)..n as VertexId {
+                if rng.gen_bool(p) {
+                    g.add_edge(a, b, w(rng.gen_range(-120.0..0.0)));
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn kruskal_on_known_graph() {
+        let f = kruskal_max_st(&known_graph());
+        assert!(f.is_single_tree());
+        assert_eq!(f.edges.len(), 3);
+        assert_eq!(f.total_weight(), w(15.0));
+    }
+
+    #[test]
+    fn prim_on_known_graph() {
+        let f = prim_max_st(&known_graph());
+        assert_eq!(f.total_weight(), w(15.0));
+        assert_eq!(f.edges, kruskal_max_st(&known_graph()).edges);
+    }
+
+    #[test]
+    fn boruvka_on_known_graph() {
+        let (f, rounds) = boruvka_max_st(&known_graph());
+        assert_eq!(f.total_weight(), w(15.0));
+        assert!(!rounds.is_empty());
+        assert_eq!(rounds.last().unwrap().edges_added, 0);
+    }
+
+    #[test]
+    fn all_three_agree_on_random_graphs() {
+        for seed in 0..10 {
+            let g = random_graph(40, 0.3, seed);
+            let k = kruskal_max_st(&g);
+            let p = prim_max_st(&g);
+            let (b, _) = boruvka_max_st(&g);
+            assert_eq!(k.edges, p.edges, "seed {seed}: kruskal vs prim");
+            assert_eq!(k.edges, b.edges, "seed {seed}: kruskal vs boruvka");
+        }
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        // Two disjoint triangles.
+        let mut g = WeightedGraph::new(6);
+        g.add_edge(0, 1, w(1.0));
+        g.add_edge(1, 2, w(2.0));
+        g.add_edge(0, 2, w(3.0));
+        g.add_edge(3, 4, w(1.0));
+        g.add_edge(4, 5, w(2.0));
+        g.add_edge(3, 5, w(3.0));
+        for f in [
+            kruskal_max_st(&g),
+            prim_max_st(&g),
+            boruvka_max_st(&g).0,
+        ] {
+            assert_eq!(f.tree_count, 2);
+            assert_eq!(f.edges.len(), 4);
+            assert!(!f.is_single_tree());
+        }
+    }
+
+    #[test]
+    fn boruvka_rounds_are_logarithmic() {
+        // Complete graph on 64 vertices: fragments at least halve per
+        // round, so ≤ log2(64) + 1 = 7 rounds including the final empty
+        // one.
+        let g = random_graph(64, 1.0, 3);
+        let (_, rounds) = boruvka_max_st(&g);
+        assert!(
+            rounds.len() <= 7,
+            "expected ≤ 7 rounds, got {}",
+            rounds.len()
+        );
+        // Every merging round at least halves the live fragments: each
+        // fragment joins a merge component of size ≥ 2.
+        for r in &rounds[..rounds.len() - 1] {
+            assert!(
+                r.fragments_after <= r.fragments_before / 2,
+                "round failed to halve fragments: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let e = WeightedGraph::new(0);
+        assert_eq!(kruskal_max_st(&e).edges.len(), 0);
+        let s = WeightedGraph::new(1);
+        let f = prim_max_st(&s);
+        assert_eq!(f.edges.len(), 0);
+        assert_eq!(f.tree_count, 1);
+    }
+
+    #[test]
+    fn max_st_beats_any_other_spanning_tree() {
+        // Exchange check: the max-ST total weight is >= the total of a
+        // star spanning tree on the same random connected graph.
+        let g = random_graph(20, 1.0, 9);
+        let max_w = kruskal_max_st(&g).total_weight().get();
+        let star_w: f64 = (1..20).map(|v| g.weight(0, v).unwrap().get()).sum();
+        assert!(max_w >= star_w);
+    }
+
+    #[test]
+    fn resulting_edges_form_a_tree() {
+        let g = random_graph(30, 0.5, 4);
+        let f = kruskal_max_st(&g);
+        // Acyclic: union-find never sees a redundant union.
+        let mut uf = UnionFind::new(g.n());
+        for e in &f.edges {
+            assert!(uf.union(e.u, e.v), "cycle edge {e:?}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Union–find (disjoint-set forest).
+//!
+//! Used by Kruskal's algorithm and by the fragment bookkeeping of the
+//! distributed spanning-tree protocol. Implements path halving and
+//! union by rank — effectively O(α(n)) per operation.
+
+/// Disjoint-set forest over dense `0..n` elements.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the structure tracks no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently represented.
+    #[inline]
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Non-mutating find (no compression) — usable with `&self`.
+    pub fn find_const(&self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merge the sets containing `a` and `b`. Returns `true` if they
+    /// were distinct (a merge happened).
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            core::cmp::Ordering::Less => (rb, ra),
+            core::cmp::Ordering::Greater => (ra, rb),
+            core::cmp::Ordering::Equal => {
+                self.rank[ra as usize] += 1;
+                (ra, rb)
+            }
+        };
+        self.parent[lo as usize] = hi;
+        self.sets -= 1;
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_at_start() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        assert_eq!(uf.len(), 5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.set_count(), 2);
+        assert!(!uf.union(1, 0), "already merged");
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.set_count(), 1);
+        assert!(uf.connected(1, 2));
+    }
+
+    #[test]
+    fn find_const_agrees_with_find() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        let root = uf.find(0);
+        for i in 0..100 {
+            assert_eq!(uf.find_const(i), root);
+        }
+    }
+
+    #[test]
+    fn long_chain_stays_fast_and_correct() {
+        let n = 100_000;
+        let mut uf = UnionFind::new(n);
+        for i in (1..n as u32).rev() {
+            uf.union(i, i - 1);
+        }
+        assert_eq!(uf.set_count(), 1);
+        assert!(uf.connected(0, (n - 1) as u32));
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Totally-ordered edge weights.
+//!
+//! Edge weights in this workspace are proximity-signal strengths in dBm
+//! — plain `f64`s that are never NaN. [`W`] wraps `f64` with `Ord`/`Eq`
+//! implemented via `total_cmp`, and asserts non-NaN at construction so a
+//! corrupted weight fails at the boundary instead of silently reordering
+//! a heap deep inside Prim's algorithm.
+
+use serde::{Deserialize, Serialize};
+
+/// A non-NaN edge weight with total order.
+///
+/// ```
+/// use ffd2d_graph::W;
+/// let mut v = vec![W::new(3.0), W::new(-1.0), W::new(2.0)];
+/// v.sort();
+/// assert_eq!(v, vec![W::new(-1.0), W::new(2.0), W::new(3.0)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct W(f64);
+
+impl W {
+    /// Wrap a weight. Panics on NaN.
+    #[inline]
+    pub fn new(value: f64) -> W {
+        assert!(!value.is_nan(), "edge weight must not be NaN");
+        W(value)
+    }
+
+    /// The raw value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The smallest possible weight (used as sentinel in max-selection).
+    pub const NEG_INFINITY: W = W(f64::NEG_INFINITY);
+}
+
+impl Eq for W {}
+
+impl PartialOrd for W {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for W {
+    #[inline]
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for W {
+    #[inline]
+    fn from(v: f64) -> W {
+        W::new(v)
+    }
+}
+
+impl core::ops::Add for W {
+    type Output = W;
+    #[inline]
+    fn add(self, rhs: W) -> W {
+        W::new(self.0 + rhs.0)
+    }
+}
+
+impl core::iter::Sum for W {
+    fn sum<I: Iterator<Item = W>>(iter: I) -> W {
+        W::new(iter.map(|w| w.0).sum())
+    }
+}
+
+impl core::fmt::Display for W {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_numerically() {
+        assert!(W::new(1.0) < W::new(2.0));
+        assert!(W::new(-5.0) < W::new(-1.0));
+        assert_eq!(W::new(3.0).max(W::new(7.0)), W::new(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = W::new(f64::NAN);
+    }
+
+    #[test]
+    fn negative_infinity_sentinel_is_minimal() {
+        assert!(W::NEG_INFINITY < W::new(f64::MIN));
+    }
+
+    #[test]
+    fn sum_and_add() {
+        let total: W = [W::new(1.0), W::new(2.5)].into_iter().sum();
+        assert_eq!(total, W::new(3.5));
+        assert_eq!(W::new(1.0) + W::new(2.0), W::new(3.0));
+    }
+
+    #[test]
+    fn from_f64() {
+        let w: W = 4.2.into();
+        assert_eq!(w.get(), 4.2);
+    }
+}

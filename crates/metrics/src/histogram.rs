@@ -1,0 +1,153 @@
+//! Fixed-bin histograms.
+//!
+//! Used by experiment E5 to compare the measured RSSI ranging-error
+//! distribution against its log-normal closed form, and by the
+//! collision ablation to show per-slot contention profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with uniform bins over `[lo, hi)` plus under/overflow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// `bins` uniform bins spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample");
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let bins = self.counts.len();
+            let bin = ((x - self.lo) / (self.hi - self.lo) * bins as f64) as usize;
+            self.counts[bin.min(bins - 1)] += 1;
+        }
+    }
+
+    /// Total recorded samples (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples below `lo` / at-or-above `hi`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// The inclusive-exclusive bounds of bin `i`.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// Fraction of in-range samples in bin `i`.
+    pub fn density(&self, i: usize) -> f64 {
+        let in_range = self.total - self.underflow - self.overflow;
+        if in_range == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / in_range as f64
+        }
+    }
+
+    /// Index of the fullest bin (`None` if no in-range samples).
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.counts.iter().all(|&c| c == 0) {
+            return None;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, core::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_the_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.0);
+        h.record(0.99);
+        h.record(5.0);
+        h.record(9.999);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_tracked_separately() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.5);
+        h.record(1.0); // hi is exclusive
+        h.record(2.0);
+        assert_eq!(h.out_of_range(), (1, 2));
+        assert_eq!(h.total(), 3);
+        assert!(h.counts().iter().all(|&c| c == 0));
+        assert_eq!(h.mode_bin(), None);
+    }
+
+    #[test]
+    fn bounds_and_density() {
+        let mut h = Histogram::new(0.0, 8.0, 4);
+        assert_eq!(h.bin_bounds(0), (0.0, 2.0));
+        assert_eq!(h.bin_bounds(3), (6.0, 8.0));
+        for x in [1.0, 1.5, 3.0, 7.0] {
+            h.record(x);
+        }
+        assert!((h.density(0) - 0.5).abs() < 1e-12);
+        assert_eq!(h.mode_bin(), Some(0));
+    }
+
+    #[test]
+    fn gaussianish_data_peaks_in_middle() {
+        let mut h = Histogram::new(-3.0, 3.0, 9);
+        // Deterministic triangle-distribution samples around 0.
+        for i in 0..1000 {
+            let u = (i as f64 / 1000.0) * 2.0 - 1.0;
+            let v = ((i as f64 * 7.0) % 1000.0 / 1000.0) * 2.0 - 1.0;
+            h.record(u + v); // triangular on [-2, 2]
+        }
+        let mode = h.mode_bin().unwrap();
+        assert!((3..=5).contains(&mode), "mode bin {mode}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_range_rejected() {
+        let _ = Histogram::new(1.0, 0.0, 4);
+    }
+}

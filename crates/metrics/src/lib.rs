@@ -1,0 +1,30 @@
+//! # ffd2d-metrics — statistics and reporting substrate
+//!
+//! Every experiment in this workspace reduces many Monte-Carlo trials to
+//! a handful of numbers (Fig. 3: mean convergence time per node count;
+//! Fig. 4: mean message count). This crate holds the statistical and
+//! presentation machinery:
+//!
+//! * [`stats`] — streaming moments (Welford), Student-t confidence
+//!   intervals, merge support for parallel aggregation.
+//! * [`percentile`] — exact order statistics over collected samples.
+//! * [`histogram`] — fixed-bin histograms for error-distribution checks
+//!   (experiment E5).
+//! * [`series`] — named (x, y) series, the in-memory form of every
+//!   figure, with CSV export.
+//! * [`table`] — markdown/CSV table rendering for EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod percentile;
+pub mod series;
+pub mod stats;
+pub mod table;
+
+pub use histogram::Histogram;
+pub use percentile::Percentiles;
+pub use series::{Figure, Series};
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,134 @@
+//! Exact order statistics.
+//!
+//! Convergence-time distributions are heavy-tailed (an unlucky
+//! deployment with a deep shadow can take many extra rounds), so the
+//! experiment reports include medians and tail percentiles alongside
+//! means. [`Percentiles`] keeps the raw samples and answers arbitrary
+//! quantile queries with linear interpolation (type-7 quantile, the R /
+//! NumPy default).
+
+use serde::{Deserialize, Serialize};
+
+/// A collected sample set with quantile queries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Percentiles {
+    sorted: Vec<f64>,
+    dirty: bool,
+}
+
+impl Percentiles {
+    /// An empty collection.
+    pub fn new() -> Percentiles {
+        Percentiles::default()
+    }
+
+    /// Build from samples.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Percentiles {
+        let mut p = Percentiles::new();
+        for s in samples {
+            p.push(s);
+        }
+        p
+    }
+
+    /// Add a sample.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample");
+        self.sorted.push(x);
+        self.dirty = true;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if self.dirty {
+            self.sorted.sort_by(|a, b| a.total_cmp(b));
+            self.dirty = false;
+        }
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) with linear interpolation.
+    /// Returns `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.sorted.len();
+        if n == 1 {
+            return Some(self.sorted[0]);
+        }
+        let h = q * (n - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = h.ceil() as usize;
+        let frac = h - lo as f64;
+        Some(self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac)
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&mut self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_returns_none() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.median(), None);
+        assert_eq!(p.count(), 0);
+    }
+
+    #[test]
+    fn singleton_is_every_quantile() {
+        let mut p = Percentiles::from_samples([7.0]);
+        assert_eq!(p.quantile(0.0), Some(7.0));
+        assert_eq!(p.quantile(0.5), Some(7.0));
+        assert_eq!(p.quantile(1.0), Some(7.0));
+    }
+
+    #[test]
+    fn known_quartiles() {
+        let mut p = Percentiles::from_samples([1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(p.quantile(0.0), Some(1.0));
+        assert_eq!(p.median(), Some(3.0));
+        assert_eq!(p.quantile(1.0), Some(5.0));
+        // Type-7 interpolation: 0.25 → 2.0, 0.1 → 1.4.
+        assert_eq!(p.quantile(0.25), Some(2.0));
+        assert!((p.quantile(0.1).unwrap() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let mut p = Percentiles::from_samples([5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(p.median(), Some(3.0));
+        // Push after query re-dirties.
+        p.push(0.0);
+        assert_eq!(p.quantile(0.0), Some(0.0));
+    }
+
+    #[test]
+    fn even_count_median_interpolates() {
+        let mut p = Percentiles::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(p.median(), Some(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_quantile_rejected() {
+        let mut p = Percentiles::from_samples([1.0]);
+        let _ = p.quantile(1.5);
+    }
+}

@@ -1,0 +1,155 @@
+//! Markdown / CSV table rendering.
+//!
+//! EXPERIMENTS.md is generated from [`Table`]s: a header row plus string
+//! cells, rendered with aligned columns so the committed file is
+//! readable as plain text too.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple rectangular table of strings.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.header.len()
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// If the row width does not match the header.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Render as a GitHub-flavoured markdown table with padded columns.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:<width$} |", cell, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{:-<width$}|", "", width = w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+
+    /// Render as CSV (naive quoting: cells containing commas are
+    /// wrapped in double quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |c: &String| {
+            if c.contains(',') {
+                format!("\"{c}\"")
+            } else {
+                c.clone()
+            }
+        };
+        let mut out = self
+            .header
+            .iter()
+            .map(quote)
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(quote).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["n", "ST", "FST"]);
+        t.push_row(["50", "310", "305"]);
+        t.push_row(["1000", "820", "2410"]);
+        t
+    }
+
+    #[test]
+    fn dimensions() {
+        let t = sample();
+        assert_eq!(t.width(), 3);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("| n "));
+        assert!(lines[1].chars().all(|c| "|-".contains(c)));
+        assert!(lines[3].contains("1000"));
+        // Columns align: every line has the same length.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn csv_shape_and_quoting() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["1,5", "x"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"1,5\",x\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_rejected() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+
+use ffd2d_metrics::{Histogram, Percentiles, Summary};
+
+proptest! {
+    /// Welford accumulation matches the naive two-pass formulas.
+    #[test]
+    fn summary_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::from_samples(xs.iter().copied());
+        let n = xs.len() as f64;
+        let mean: f64 = xs.iter().sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        if xs.len() > 1 {
+            let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!((s.variance() - var).abs() <= 1e-4 * (1.0 + var.abs()));
+        }
+        prop_assert_eq!(s.min(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// merge(a, b) equals accumulating the concatenation, for any split.
+    #[test]
+    fn summary_merge_associative(xs in proptest::collection::vec(-1e3f64..1e3, 2..150), split_frac in 0.0f64..1.0) {
+        let split = ((xs.len() as f64) * split_frac) as usize;
+        let whole = Summary::from_samples(xs.iter().copied());
+        let mut left = Summary::from_samples(xs[..split].iter().copied());
+        let right = Summary::from_samples(xs[split..].iter().copied());
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-8);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6 * (1.0 + whole.variance()));
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..100), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let mut p = Percentiles::from_samples(xs.iter().copied());
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let lo = p.quantile(lo_q).unwrap();
+        let hi = p.quantile(hi_q).unwrap();
+        prop_assert!(lo <= hi + 1e-12);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lo >= min - 1e-12 && hi <= max + 1e-12);
+    }
+
+    /// The CI always contains the mean and shrinks (weakly) as samples
+    /// are duplicated.
+    #[test]
+    fn ci_contains_mean(xs in proptest::collection::vec(-100.0f64..100.0, 2..50)) {
+        let s = Summary::from_samples(xs.iter().copied());
+        let (lo, hi) = s.ci95();
+        prop_assert!(lo <= s.mean() && s.mean() <= hi);
+        // Doubling the data (same distribution) must not widen the CI.
+        let doubled = Summary::from_samples(xs.iter().chain(xs.iter()).copied());
+        prop_assert!(doubled.ci95_half_width() <= s.ci95_half_width() + 1e-9);
+    }
+
+    /// Histogram counts are conserved: every sample lands somewhere.
+    #[test]
+    fn histogram_conserves_mass(xs in proptest::collection::vec(-10.0f64..10.0, 0..300), bins in 1usize..32) {
+        let mut h = Histogram::new(-5.0, 5.0, bins);
+        for &x in &xs {
+            h.record(x);
+        }
+        let (under, over) = h.out_of_range();
+        let in_bins: u64 = h.counts().iter().sum();
+        prop_assert_eq!(in_bins + under + over, xs.len() as u64);
+        // Bin bounds tile the range.
+        let (first_lo, _) = h.bin_bounds(0);
+        let (_, last_hi) = h.bin_bounds(bins - 1);
+        prop_assert!((first_lo - -5.0).abs() < 1e-12);
+        prop_assert!((last_hi - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the oscillator substrate.
+
+use proptest::prelude::*;
+
+use ffd2d_osc::oscillator::PhaseOscillator;
+use ffd2d_osc::prc::Prc;
+use ffd2d_osc::sync::{firing_groups, is_synchronized, kuramoto_order, phase_spread};
+
+proptest! {
+    /// Eq. (5): for any a > 0, ε > 0 the PRC satisfies the
+    /// Mirollo–Strogatz convergence conditions and only advances phase.
+    #[test]
+    fn prc_always_converging_and_advancing(a in 0.01f64..10.0, eps in 0.001f64..2.0, theta in 0.0f64..1.0) {
+        let prc = Prc::from_dissipation(a, eps);
+        prop_assert!(prc.converges());
+        prop_assert!(prc.alpha > 1.0);
+        prop_assert!(prc.beta > 0.0);
+        let out = prc.apply(theta);
+        prop_assert!(out >= theta - 1e-15, "PRC moved phase backwards");
+        prop_assert!(out <= 1.0);
+        // Monotonicity in θ.
+        let out2 = prc.apply((theta + 0.01).min(1.0));
+        prop_assert!(out2 >= out - 1e-15);
+    }
+
+    /// An uncoupled oscillator fires with exactly its natural period,
+    /// whatever the initial phase.
+    #[test]
+    fn natural_period_is_exact(phase in 0.0f64..0.999, period in 2u32..500) {
+        let mut osc = PhaseOscillator::new(phase, period, 1);
+        let mut fires = Vec::new();
+        for t in 0..(period as u64 * 5) {
+            if osc.tick() {
+                fires.push(t);
+            }
+        }
+        prop_assert!(fires.len() >= 4);
+        for w in fires.windows(2) {
+            prop_assert_eq!(w[1] - w[0], period as u64);
+        }
+    }
+
+    /// Delay compensation: a pulse heard with age k has the same effect
+    /// as the identical pulse heard instantly k slots earlier, for any
+    /// phase where neither crosses the threshold.
+    #[test]
+    fn delayed_equals_shifted_instant(theta in 0.1f64..0.6, age in 0u32..8) {
+        let prc = Prc::standard();
+        let period = 100;
+        let age_phase = age as f64 / period as f64;
+        prop_assume!(theta + age_phase < 0.9);
+        let mut now = PhaseOscillator::new(theta + age_phase, period, 0);
+        now.on_pulse_delayed(&prc, age);
+        let mut then = PhaseOscillator::new(theta, period, 0);
+        then.on_pulse(&prc);
+        prop_assert!((now.phase() - (then.phase() + age_phase)).abs() < 1e-12);
+    }
+
+    /// Kuramoto order and spread are consistent: r = 1 ⟺ spread = 0
+    /// (within float tolerance); both are shift-invariant on the circle.
+    #[test]
+    fn sync_metrics_consistency(phases in proptest::collection::vec(0.0f64..1.0, 1..30), shift in 0.0f64..1.0) {
+        let spread = phase_spread(&phases);
+        let r = kuramoto_order(&phases);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r));
+        prop_assert!((0.0..1.0).contains(&spread) || spread == 0.0);
+        if spread < 1e-12 {
+            prop_assert!(r > 1.0 - 1e-9);
+        }
+        // Rotation invariance.
+        let shifted: Vec<f64> = phases.iter().map(|p| (p + shift).rem_euclid(1.0)).collect();
+        prop_assert!((phase_spread(&shifted) - spread).abs() < 1e-9);
+        prop_assert!((kuramoto_order(&shifted) - r).abs() < 1e-9);
+    }
+
+    /// Group counting: between 1 and n groups; tolerance monotone
+    /// (larger tolerance → no more groups).
+    #[test]
+    fn group_count_bounds(phases in proptest::collection::vec(0.0f64..1.0, 1..25), t1 in 0.0f64..0.2, t2 in 0.2f64..0.45) {
+        let g_tight = firing_groups(&phases, t1);
+        let g_loose = firing_groups(&phases, t2);
+        prop_assert!(g_tight >= 1 && g_tight <= phases.len());
+        prop_assert!(g_loose <= g_tight);
+        // is_synchronized agrees with spread.
+        prop_assert_eq!(is_synchronized(&phases, t2), phase_spread(&phases) <= t2);
+    }
+}

@@ -1,0 +1,28 @@
+//! # ffd2d-parallel — deterministic parallel Monte-Carlo harness
+//!
+//! Reproducing Figs. 3–4 means running hundreds of independent trials
+//! (node-count sweep × Monte-Carlo repetitions × two protocols). Each
+//! trial owns its entire world (deployment, channel, protocol state), so
+//! the workload is embarrassingly parallel — the canonical data-parallel
+//! shape of the HPC guides, implemented here with the sanctioned
+//! `crossbeam` + `parking_lot` toolkit:
+//!
+//! * [`pool`] — [`pool::parallel_map`]: an order-preserving parallel map
+//!   over a task list using crossbeam scoped threads and an atomic
+//!   work-stealing cursor. No task communicates with any other; results
+//!   land in their own slots, so the output is identical to the
+//!   sequential map regardless of thread count.
+//! * [`sweep`] — the experiment-shaped layer: a parameter grid × trial
+//!   count, each cell reduced with `ffd2d-metrics`-style mergeable
+//!   accumulators, with deterministic per-trial seeds derived from
+//!   `(master seed, param index, trial index)` — thread schedule cannot
+//!   perturb any random draw.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod sweep;
+
+pub use pool::{available_workers, parallel_map};
+pub use sweep::{run_sweep, run_trials, SweepConfig, SweepResult, TrialCtx};

@@ -1,0 +1,137 @@
+//! The RACH codec pair and service classes.
+//!
+//! §III: *"we have considered that PS will use two different RACH codec
+//! i.e. a pair of RACH codec. One codec use for keep-alive i.e. for
+//! synchronization purpose where as other codec for other event."* and
+//! §IV assigns them roles: *"RACH2 is use for synchronization among sub
+//! trees whereas RACH1 for regular operation for firefly algorithm."*
+//!
+//! Application-level discovery rides the same preambles: *"Different
+//! codecs scheme indicate different services in the application."* We
+//! model a service-interest space multiplexed onto cyclic shifts of the
+//! codec's root, so devices advertising the same service transmit
+//! correlated preambles a listener can classify.
+
+use serde::{Deserialize, Serialize};
+
+use crate::zadoffchu::{ZcSequence, LTE_PRACH_NZC};
+
+/// The two proximity-signal codecs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RachCodec {
+    /// Regular firefly operation: firing pulses / keep-alive beacons.
+    Rach1,
+    /// Inter-fragment synchronization (the `H_Connect` handshake of
+    /// Algorithm 2).
+    Rach2,
+}
+
+impl RachCodec {
+    /// Both codecs, in protocol order.
+    pub const ALL: [RachCodec; 2] = [RachCodec::Rach1, RachCodec::Rach2];
+
+    /// The Zadoff–Chu root assigned to this codec. Distinct roots give
+    /// the `1/√N` cross-correlation that makes the codecs mutually
+    /// non-interfering (tested in [`crate::zadoffchu`]).
+    pub fn zc_root(self) -> u32 {
+        match self {
+            RachCodec::Rach1 => 129,
+            RachCodec::Rach2 => 421,
+        }
+    }
+
+    /// Generate the on-air preamble for this codec and a service class.
+    pub fn preamble(self, service: ServiceClass) -> ZcSequence {
+        // Cyclic shifts are spaced so that delay spread cannot alias one
+        // service into another (LTE's N_cs concept); 64 shifts of 13
+        // samples fit in N_zc = 839.
+        let shift = (service.0 as usize * 13) % LTE_PRACH_NZC;
+        ZcSequence::new(self.zc_root(), shift, LTE_PRACH_NZC)
+    }
+}
+
+impl core::fmt::Display for RachCodec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RachCodec::Rach1 => write!(f, "RACH1"),
+            RachCodec::Rach2 => write!(f, "RACH2"),
+        }
+    }
+}
+
+/// An application service interest (0–63, LTE's preamble index space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServiceClass(pub u8);
+
+impl ServiceClass {
+    /// Number of distinguishable service classes (64 preamble shifts).
+    pub const COUNT: u8 = 64;
+
+    /// The keep-alive / no-service class.
+    pub const KEEP_ALIVE: ServiceClass = ServiceClass(0);
+
+    /// Construct, validating the LTE preamble-index range.
+    pub fn new(id: u8) -> ServiceClass {
+        assert!(id < Self::COUNT, "service class must be < {}", Self::COUNT);
+        ServiceClass(id)
+    }
+
+    /// True if two devices share a service interest (application-level
+    /// proximity criterion).
+    pub fn matches(self, other: ServiceClass) -> bool {
+        self == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_roots_differ() {
+        assert_ne!(RachCodec::Rach1.zc_root(), RachCodec::Rach2.zc_root());
+    }
+
+    #[test]
+    fn codec_preambles_are_orthogonal_between_codecs() {
+        let p1 = RachCodec::Rach1.preamble(ServiceClass::KEEP_ALIVE);
+        let p2 = RachCodec::Rach2.preamble(ServiceClass::KEEP_ALIVE);
+        let c = p1.correlate(&p2);
+        assert!(
+            c < 2.0 / (LTE_PRACH_NZC as f64).sqrt(),
+            "cross-codec correlation {c}"
+        );
+    }
+
+    #[test]
+    fn service_shifts_are_orthogonal_within_codec() {
+        let a = RachCodec::Rach1.preamble(ServiceClass::new(3));
+        let b = RachCodec::Rach1.preamble(ServiceClass::new(4));
+        assert!(a.correlate(&b) < 1e-9);
+    }
+
+    #[test]
+    fn same_service_same_preamble() {
+        let a = RachCodec::Rach1.preamble(ServiceClass::new(9));
+        let b = RachCodec::Rach1.preamble(ServiceClass::new(9));
+        assert!((a.correlate(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_class_matching() {
+        assert!(ServiceClass::new(5).matches(ServiceClass::new(5)));
+        assert!(!ServiceClass::new(5).matches(ServiceClass::new(6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "service class")]
+    fn out_of_range_service_rejected() {
+        let _ = ServiceClass::new(64);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RachCodec::Rach1.to_string(), "RACH1");
+        assert_eq!(RachCodec::Rach2.to_string(), "RACH2");
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal complex arithmetic.
+//!
+//! Only what Zadoff–Chu generation and correlation need — keeping the
+//! workspace inside its sanctioned dependency set instead of pulling in
+//! `num-complex`.
+
+use serde::{Deserialize, Serialize};
+
+/// A complex number `re + i·im`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Cplx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cplx {
+    /// Zero.
+    pub const ZERO: Cplx = Cplx { re: 0.0, im: 0.0 };
+
+    /// Construct from parts.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Cplx {
+        Cplx { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Cplx {
+        Cplx {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Cplx {
+        Cplx {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl core::ops::Add for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn add(self, rhs: Cplx) -> Cplx {
+        Cplx::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl core::ops::AddAssign for Cplx {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cplx) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl core::ops::Mul for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn mul(self, rhs: Cplx) -> Cplx {
+        Cplx::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl core::ops::Mul<f64> for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn mul(self, rhs: f64) -> Cplx {
+        Cplx::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..16 {
+            let z = Cplx::cis(k as f64 * 0.39269908);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multiplication_rotates() {
+        let a = Cplx::cis(0.3);
+        let b = Cplx::cis(0.5);
+        let prod = a * b;
+        let expect = Cplx::cis(0.8);
+        assert!((prod.re - expect.re).abs() < 1e-12);
+        assert!((prod.im - expect.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_inverts_phase() {
+        let z = Cplx::cis(1.1);
+        let unit = z * z.conj();
+        assert!((unit.re - 1.0).abs() < 1e-12);
+        assert!(unit.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms() {
+        let z = Cplx::new(3.0, 4.0);
+        assert!((z.abs() - 5.0).abs() < 1e-12);
+        assert!((z.norm_sq() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let z = Cplx::new(1.0, 2.0) + Cplx::new(3.0, -1.0);
+        assert_eq!(z, Cplx::new(4.0, 1.0));
+        assert_eq!(z * 2.0, Cplx::new(8.0, 2.0));
+        let mut w = Cplx::ZERO;
+        w += z;
+        assert_eq!(w, z);
+    }
+}

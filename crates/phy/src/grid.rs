@@ -1,0 +1,119 @@
+//! PRACH opportunity structure.
+//!
+//! LTE does not open the random-access channel in every subframe: PRACH
+//! opportunities recur with a configurable periodicity (PRACH
+//! configuration index). Proximity signals can only be transmitted in
+//! PRACH slots, which quantises the firefly firing instants — a real
+//! effect the paper inherits from its LTE-A substrate ("intra-group
+//! proximity signal interference due to misalignment of devices").
+//!
+//! [`PrachGrid`] maps continuous firing intentions onto the next
+//! available opportunity.
+
+use serde::{Deserialize, Serialize};
+
+use ffd2d_sim::time::Slot;
+
+/// The PRACH opportunity grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrachGrid {
+    /// A PRACH opportunity occurs every `period` slots...
+    period: u64,
+    /// ...at slots congruent to `offset` (mod `period`).
+    offset: u64,
+}
+
+impl PrachGrid {
+    /// Every slot is a PRACH opportunity (the paper's dense-signalling
+    /// assumption; Table I gives a 1 ms slot with PS each slot).
+    pub const EVERY_SLOT: PrachGrid = PrachGrid {
+        period: 1,
+        offset: 0,
+    };
+
+    /// A grid with the given periodicity and offset.
+    pub fn new(period: u64, offset: u64) -> PrachGrid {
+        assert!(period > 0, "PRACH period must be positive");
+        assert!(offset < period, "offset must be below the period");
+        PrachGrid { period, offset }
+    }
+
+    /// LTE PRACH configuration index 6: one opportunity every 5 ms.
+    pub fn lte_config_6() -> PrachGrid {
+        PrachGrid::new(5, 0)
+    }
+
+    /// The opportunity periodicity in slots.
+    #[inline]
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// True if `slot` is a PRACH opportunity.
+    #[inline]
+    pub fn is_opportunity(&self, slot: Slot) -> bool {
+        slot.0 % self.period == self.offset
+    }
+
+    /// The first opportunity at or after `slot`.
+    pub fn next_opportunity(&self, slot: Slot) -> Slot {
+        let rem = (slot.0 + self.period - self.offset) % self.period;
+        if rem == 0 {
+            slot
+        } else {
+            Slot(slot.0 + self.period - rem)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_slot_grid() {
+        let g = PrachGrid::EVERY_SLOT;
+        for s in 0..10 {
+            assert!(g.is_opportunity(Slot(s)));
+            assert_eq!(g.next_opportunity(Slot(s)), Slot(s));
+        }
+    }
+
+    #[test]
+    fn periodic_grid_membership() {
+        let g = PrachGrid::new(5, 2);
+        assert!(g.is_opportunity(Slot(2)));
+        assert!(g.is_opportunity(Slot(7)));
+        assert!(!g.is_opportunity(Slot(3)));
+        assert!(!g.is_opportunity(Slot(0)));
+    }
+
+    #[test]
+    fn next_opportunity_rounds_up() {
+        let g = PrachGrid::new(5, 2);
+        assert_eq!(g.next_opportunity(Slot(0)), Slot(2));
+        assert_eq!(g.next_opportunity(Slot(2)), Slot(2));
+        assert_eq!(g.next_opportunity(Slot(3)), Slot(7));
+        assert_eq!(g.next_opportunity(Slot(8)), Slot(12));
+    }
+
+    #[test]
+    fn lte_config_6_is_5ms() {
+        let g = PrachGrid::lte_config_6();
+        assert_eq!(g.period(), 5);
+        assert!(g.is_opportunity(Slot(0)));
+        assert!(g.is_opportunity(Slot(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "offset")]
+    fn bad_offset_rejected() {
+        let _ = PrachGrid::new(5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = PrachGrid::new(0, 0);
+    }
+}

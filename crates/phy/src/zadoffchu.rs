@@ -1,0 +1,250 @@
+//! Zadoff–Chu sequences — the mathematics of LTE RACH preambles.
+//!
+//! LTE PRACH preambles are cyclic shifts of Zadoff–Chu (ZC) sequences.
+//! For an odd prime length `N_zc` and root `u ∈ {1, …, N_zc − 1}`:
+//!
+//! ```text
+//! x_u(n) = exp(−jπ·u·n·(n+1) / N_zc),   n = 0 … N_zc − 1
+//! ```
+//!
+//! Three properties make them preambles:
+//!
+//! 1. **CAZAC** — constant amplitude (|x(n)| = 1 ∀n).
+//! 2. **Zero cyclic autocorrelation** — a sequence is orthogonal to any
+//!    nonzero cyclic shift of itself, so shifts of one root yield many
+//!    orthogonal preambles.
+//! 3. **Low cross-correlation** — sequences with different (coprime to
+//!    `N_zc`) roots have constant cross-correlation magnitude `1/√N_zc`.
+//!
+//! The paper's claim that "different RACH preambles can flow in the
+//! network simultaneously without any interference" is exactly
+//! properties 2–3; the two PS codecs map onto two roots, and service
+//! classes onto cyclic shifts. The correlation detector here is what
+//! the abstract `medium` model's orthogonality assumption is calibrated
+//! against (and tested against, in this module).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cplx::Cplx;
+
+/// Default sequence length: LTE PRACH format 0 uses `N_zc = 839`.
+pub const LTE_PRACH_NZC: usize = 839;
+
+/// A generated Zadoff–Chu sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZcSequence {
+    root: u32,
+    shift: usize,
+    samples: Vec<Cplx>,
+}
+
+impl ZcSequence {
+    /// Generate the ZC sequence of root `u` and cyclic shift `shift`
+    /// over prime length `n_zc`.
+    ///
+    /// # Panics
+    ///
+    /// If `n_zc < 3` or not prime, `u` is not in `1..n_zc`, or the shift
+    /// is out of range — all of which would silently destroy the
+    /// orthogonality properties the protocol depends on.
+    pub fn new(u: u32, shift: usize, n_zc: usize) -> ZcSequence {
+        assert!(n_zc >= 3 && is_prime(n_zc), "N_zc must be an odd prime");
+        assert!(
+            u >= 1 && (u as usize) < n_zc,
+            "root must be in 1..N_zc, got {u}"
+        );
+        assert!(shift < n_zc, "cyclic shift out of range");
+        let samples = (0..n_zc)
+            .map(|n| {
+                let m = (n + shift) % n_zc;
+                let phase =
+                    -core::f64::consts::PI * u as f64 * (m as f64) * (m as f64 + 1.0) / n_zc as f64;
+                Cplx::cis(phase)
+            })
+            .collect();
+        ZcSequence {
+            root: u,
+            shift,
+            samples,
+        }
+    }
+
+    /// Root index.
+    #[inline]
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// Cyclic shift.
+    #[inline]
+    pub fn shift(&self) -> usize {
+        self.shift
+    }
+
+    /// Sequence length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the sequence has no samples (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Raw samples.
+    #[inline]
+    pub fn samples(&self) -> &[Cplx] {
+        &self.samples
+    }
+
+    /// Normalised correlation magnitude with another sequence:
+    /// `|⟨x, y⟩| / N`. 1 for identical sequences, 0 for orthogonal
+    /// shifts, `1/√N` for coprime roots.
+    pub fn correlate(&self, other: &ZcSequence) -> f64 {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        let mut acc = Cplx::ZERO;
+        for (a, b) in self.samples.iter().zip(other.samples.iter()) {
+            acc += *a * b.conj();
+        }
+        acc.abs() / self.len() as f64
+    }
+
+    /// Correlate against a received superposition of sequences plus
+    /// noise — the detector primitive.
+    pub fn detect(&self, received: &[Cplx]) -> f64 {
+        assert_eq!(self.len(), received.len(), "length mismatch");
+        let mut acc = Cplx::ZERO;
+        for (a, r) in self.samples.iter().zip(received.iter()) {
+            acc += *r * a.conj();
+        }
+        acc.abs() / self.len() as f64
+    }
+}
+
+/// Trial-division primality (lengths are small and fixed).
+pub(crate) fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n % 2 == 0 {
+        return n == 2;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 139; // a prime small enough for fast tests
+
+    #[test]
+    fn constant_amplitude() {
+        let z = ZcSequence::new(25, 0, N);
+        for s in z.samples() {
+            assert!((s.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn perfect_autocorrelation_at_zero_shift() {
+        let z = ZcSequence::new(25, 0, N);
+        assert!((z.correlate(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_autocorrelation_at_nonzero_shifts() {
+        let z0 = ZcSequence::new(25, 0, N);
+        for shift in [1, 2, 17, N - 1] {
+            let zs = ZcSequence::new(25, shift, N);
+            assert!(
+                z0.correlate(&zs) < 1e-9,
+                "shift {shift} correlation {}",
+                z0.correlate(&zs)
+            );
+        }
+    }
+
+    #[test]
+    fn cross_root_correlation_is_inverse_sqrt_n() {
+        let a = ZcSequence::new(25, 0, N);
+        let expected = 1.0 / (N as f64).sqrt();
+        for root in [1, 2, 34, 138] {
+            if root == 25 {
+                continue;
+            }
+            let b = ZcSequence::new(root, 0, N);
+            let c = a.correlate(&b);
+            assert!(
+                (c - expected).abs() < 1e-9,
+                "root {root}: {c} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn detector_finds_its_preamble_in_a_superposition() {
+        // Received = preamble A + preamble B (different roots) at equal
+        // power: A's detector must report ≈1, an absent root's ≈ 1/√N.
+        let a = ZcSequence::new(25, 0, N);
+        let b = ZcSequence::new(34, 0, N);
+        let absent = ZcSequence::new(7, 0, N);
+        let rx: Vec<Cplx> = a
+            .samples()
+            .iter()
+            .zip(b.samples())
+            .map(|(x, y)| *x + *y)
+            .collect();
+        assert!(a.detect(&rx) > 0.9);
+        assert!(b.detect(&rx) > 0.9);
+        assert!(absent.detect(&rx) < 3.0 / (N as f64).sqrt());
+    }
+
+    #[test]
+    fn same_root_same_shift_collision_adds_coherently() {
+        // Two devices on the *same* preamble: the detector sees one
+        // doubled peak — it cannot distinguish them (the collision case
+        // the medium model penalises).
+        let a = ZcSequence::new(25, 0, N);
+        let rx: Vec<Cplx> = a.samples().iter().map(|x| *x + *x).collect();
+        assert!((a.detect(&rx) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lte_prach_length_is_supported() {
+        let z = ZcSequence::new(129, 0, LTE_PRACH_NZC);
+        assert_eq!(z.len(), 839);
+        assert!((z.correlate(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn primality_helper() {
+        assert!(is_prime(2));
+        assert!(is_prime(3));
+        assert!(is_prime(839));
+        assert!(!is_prime(1));
+        assert!(!is_prime(841)); // 29²
+        assert!(!is_prime(840));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd prime")]
+    fn composite_length_rejected() {
+        let _ = ZcSequence::new(3, 0, 840);
+    }
+
+    #[test]
+    #[should_panic(expected = "root must be in")]
+    fn root_zero_rejected() {
+        let _ = ZcSequence::new(0, 0, N);
+    }
+}

@@ -1,0 +1,203 @@
+//! Fast fading.
+//!
+//! Table I specifies "Fast fading: UMi (NLOS)". In a non-line-of-sight
+//! urban-micro scenario the per-path envelope is Rayleigh distributed,
+//! so the instantaneous *power* gain is exponentially distributed with
+//! unit mean. We model it as **block fading**: the gain is constant over
+//! a coherence block of `coherence_slots` slots and redrawn
+//! independently per block — the standard abstraction for slotted
+//! systems whose slot length (1 ms) is below the channel coherence time
+//! (tens of ms for pedestrian mobility).
+//!
+//! A Rician variant covers the LOS ablation: with K-factor `k` the power
+//! gain is the squared magnitude of a unit-mean complex Gaussian with a
+//! deterministic component.
+//!
+//! As with shadowing, every draw is a pure function of
+//! `(seed, link, block)` so trials replay identically.
+
+use serde::{Deserialize, Serialize};
+
+use crate::shadowing::{standard_normal, to_unit_open};
+use crate::units::Db;
+use ffd2d_sim::deployment::DeviceId;
+use ffd2d_sim::rng::SplitMix64;
+use ffd2d_sim::time::Slot;
+
+/// Fast-fading model applied on top of path loss and shadowing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FadingModel {
+    /// No fast fading (gain fixed at 0 dB).
+    None,
+    /// Rayleigh block fading — the Table-I UMi-NLOS case.
+    Rayleigh {
+        /// Slots per coherence block.
+        coherence_slots: u64,
+    },
+    /// Rician block fading with linear K-factor `k` (LOS ablation).
+    Rician {
+        /// Ratio of deterministic to scattered power (linear).
+        k: f64,
+        /// Slots per coherence block.
+        coherence_slots: u64,
+    },
+}
+
+impl FadingModel {
+    /// The Table-I configuration: Rayleigh with a 20 ms coherence block
+    /// (pedestrian UMi).
+    pub fn umi_nlos() -> FadingModel {
+        FadingModel::Rayleigh {
+            coherence_slots: 20,
+        }
+    }
+
+    /// The coherence block index containing `slot`.
+    fn block(&self, slot: Slot) -> u64 {
+        match *self {
+            FadingModel::None => 0,
+            FadingModel::Rayleigh { coherence_slots } | FadingModel::Rician { coherence_slots, .. } => {
+                slot.0 / coherence_slots.max(1)
+            }
+        }
+    }
+
+    /// Instantaneous fading gain for link `{a, b}` at `slot`, in dB.
+    ///
+    /// Unit mean in the *linear* domain (so fading does not change the
+    /// average link budget, only its fluctuation), symmetric in the link
+    /// endpoints.
+    pub fn gain(&self, seed: u64, a: DeviceId, b: DeviceId, slot: Slot) -> Db {
+        match *self {
+            FadingModel::None => Db::ZERO,
+            FadingModel::Rayleigh { .. } => {
+                let p = self.unit_exponential(seed, a, b, slot);
+                Db(10.0 * p.log10())
+            }
+            FadingModel::Rician { k, .. } => {
+                // h = sqrt(k/(k+1)) + CN(0, 1/(k+1)); power = |h|^2.
+                let (lo, hi) = ordered(a, b);
+                let block = self.block(slot);
+                let key = link_block_key(lo, hi, block);
+                let re = standard_normal(seed ^ 0x51C1_A0B4, key);
+                let im = standard_normal(seed ^ 0x1C1A_77EE, key ^ 0xABCD);
+                let scatter = 1.0 / (k + 1.0);
+                let los = (k / (k + 1.0)).sqrt();
+                let h_re = los + re * (scatter / 2.0).sqrt();
+                let h_im = im * (scatter / 2.0).sqrt();
+                let p = (h_re * h_re + h_im * h_im).max(1e-12);
+                Db(10.0 * p.log10())
+            }
+        }
+    }
+
+    /// Unit-mean exponential power draw for `(link, block)`.
+    fn unit_exponential(&self, seed: u64, a: DeviceId, b: DeviceId, slot: Slot) -> f64 {
+        let (lo, hi) = ordered(a, b);
+        let block = self.block(slot);
+        let key = link_block_key(lo, hi, block);
+        let u = to_unit_open(SplitMix64::mix(seed ^ 0xFAD1_4EED ^ key));
+        // Inverse-CDF of Exp(1); clamp to avoid -inf dB in the tail.
+        (-u.ln()).max(1e-12)
+    }
+}
+
+#[inline]
+fn ordered(a: DeviceId, b: DeviceId) -> (DeviceId, DeviceId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[inline]
+fn link_block_key(lo: DeviceId, hi: DeviceId, block: u64) -> u64 {
+    let link = ((lo as u64) << 32) | hi as u64;
+    SplitMix64::mix(link).wrapping_add(block.wrapping_mul(0x2545_F491_4F6C_DD1D))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_zero_db() {
+        assert_eq!(FadingModel::None.gain(1, 0, 1, Slot(5)), Db::ZERO);
+    }
+
+    #[test]
+    fn rayleigh_constant_within_block() {
+        let f = FadingModel::Rayleigh {
+            coherence_slots: 10,
+        };
+        let g0 = f.gain(7, 0, 1, Slot(0));
+        for s in 1..10 {
+            assert_eq!(f.gain(7, 0, 1, Slot(s)), g0);
+        }
+        assert_ne!(f.gain(7, 0, 1, Slot(10)), g0);
+    }
+
+    #[test]
+    fn rayleigh_symmetric() {
+        let f = FadingModel::umi_nlos();
+        assert_eq!(f.gain(3, 2, 9, Slot(33)), f.gain(3, 9, 2, Slot(33)));
+    }
+
+    #[test]
+    fn rayleigh_unit_mean_linear() {
+        let f = FadingModel::Rayleigh { coherence_slots: 1 };
+        let n = 50_000u64;
+        let mut sum = 0.0;
+        for s in 0..n {
+            sum += f.gain(11, 0, 1, Slot(s)).as_linear();
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn rayleigh_deep_fades_happen() {
+        // P(power < 0.1) = 1 − e^{−0.1} ≈ 9.5%; check within ±2%.
+        let f = FadingModel::Rayleigh { coherence_slots: 1 };
+        let n = 50_000u64;
+        let deep = (0..n)
+            .filter(|&s| f.gain(13, 0, 1, Slot(s)).as_linear() < 0.1)
+            .count() as f64
+            / n as f64;
+        assert!((deep - 0.095).abs() < 0.02, "deep-fade rate {deep}");
+    }
+
+    #[test]
+    fn rician_high_k_is_nearly_deterministic() {
+        let f = FadingModel::Rician {
+            k: 1000.0,
+            coherence_slots: 1,
+        };
+        for s in 0..100 {
+            let g = f.gain(5, 0, 1, Slot(s)).0;
+            assert!(g.abs() < 1.0, "gain {g} dB too far from 0 at high K");
+        }
+    }
+
+    #[test]
+    fn rician_unit_mean_linear() {
+        let f = FadingModel::Rician {
+            k: 3.0,
+            coherence_slots: 1,
+        };
+        let n = 50_000u64;
+        let mut sum = 0.0;
+        for s in 0..n {
+            sum += f.gain(17, 0, 1, Slot(s)).as_linear();
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn different_links_decorrelated() {
+        let f = FadingModel::umi_nlos();
+        assert_ne!(f.gain(1, 0, 1, Slot(0)), f.gain(1, 0, 2, Slot(0)));
+    }
+}

@@ -1,0 +1,206 @@
+//! RSSI ranging and its error model (eqs. (6)–(12)).
+//!
+//! A device receiving a proximity signal at power `p` from a neighbour
+//! transmitting at `p_tx` observes an implied loss `p_tx − p` and, by
+//! inverting the path-loss model, an estimated distance `r*`. Shadowing
+//! `x ~ N(0, σ²)` dB (eq. (9)) perturbs the implied loss, so the
+//! estimate relates to the true distance `r` by the paper's eq. (11):
+//!
+//! ```text
+//! r* = r · 10^(x / (10·n))
+//! ```
+//!
+//! giving the multiplicative relative error of eq. (12):
+//!
+//! ```text
+//! ε = r*/r − 1 = 10^(x / (10·n)) − 1  ∈ [−1, +∞)   (eq. (6))
+//! ```
+//!
+//! Because `x` is Gaussian in dB, `1 + ε` is **log-normal**, with closed
+//! form moments — [`ranging_error_stats`] returns them so experiments
+//! can check measured error distributions against theory (experiment E5
+//! of DESIGN.md).
+
+use serde::{Deserialize, Serialize};
+
+use crate::pathloss::PathLoss;
+use crate::units::{Db, Dbm};
+use ffd2d_sim::deployment::Meters;
+
+/// The outcome of one RSSI ranging measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RangingEstimate {
+    /// Estimated distance `r*` (eq. (11)).
+    pub distance: Meters,
+    /// Received power the estimate was derived from.
+    pub rx_power: Dbm,
+    /// Implied loss `p_tx − p_rx` inverted through the model.
+    pub implied_loss: Db,
+}
+
+impl RangingEstimate {
+    /// Estimate distance from a received proximity signal.
+    ///
+    /// `tx_power` is known a priori (all devices are of the same type,
+    /// assumption (I) of §IV; Table I fixes it to 23 dBm).
+    pub fn from_rx(tx_power: Dbm, rx_power: Dbm, model: &PathLoss) -> RangingEstimate {
+        let implied_loss = tx_power - rx_power;
+        RangingEstimate {
+            distance: model.invert(implied_loss),
+            rx_power,
+            implied_loss,
+        }
+    }
+
+    /// Relative error against a known true distance (eq. (6)):
+    /// `ε = r*/r − 1`.
+    pub fn relative_error(&self, true_distance: Meters) -> f64 {
+        assert!(true_distance.0 > 0.0, "true distance must be positive");
+        self.distance.0 / true_distance.0 - 1.0
+    }
+}
+
+/// The relative ranging error implied by a shadowing draw `x` dB under
+/// path-loss exponent `n` — the paper's eq. (12) in closed form.
+#[inline]
+pub fn relative_error_from_shadowing(x_db: f64, exponent: f64) -> f64 {
+    10f64.powf(x_db / (10.0 * exponent)) - 1.0
+}
+
+/// Theoretical moments of the ranging error distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RangingErrorStats {
+    /// `E[1 + ε]` — mean multiplicative bias of the estimate.
+    pub mean_ratio: f64,
+    /// Median of `1 + ε` (always exactly 1: shadowing is symmetric in dB).
+    pub median_ratio: f64,
+    /// Standard deviation of `1 + ε`.
+    pub std_ratio: f64,
+}
+
+/// Closed-form moments of `1 + ε = 10^(x/(10n))`, `x ~ N(0, σ²)`.
+///
+/// Substituting `y = x·ln10/(10n)` makes `1 + ε = e^y` log-normal with
+/// `μ_y = 0`, `σ_y = σ·ln10/(10n)`, so `E = e^{σ_y²/2}`,
+/// `Var = (e^{σ_y²} − 1)·e^{σ_y²}`.
+pub fn ranging_error_stats(sigma_db: f64, exponent: f64) -> RangingErrorStats {
+    assert!(sigma_db >= 0.0 && exponent > 0.0);
+    let sigma_y = sigma_db * core::f64::consts::LN_10 / (10.0 * exponent);
+    let s2 = sigma_y * sigma_y;
+    RangingErrorStats {
+        mean_ratio: (s2 / 2.0).exp(),
+        median_ratio: 1.0,
+        std_ratio: ((s2.exp() - 1.0) * s2.exp()).sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shadowing::ShadowingField;
+
+    const TX: Dbm = Dbm(23.0);
+
+    #[test]
+    fn perfect_channel_gives_exact_distance() {
+        let m = PathLoss::PaperPiecewise;
+        for d in [2.0, 10.0, 50.0, 88.0] {
+            let rx = TX - m.loss(Meters(d));
+            let est = RangingEstimate::from_rx(TX, rx, &m);
+            assert!(
+                (est.distance.0 - d).abs() / d < 1e-9,
+                "d={d} est={:?}",
+                est.distance
+            );
+            assert!(est.relative_error(Meters(d)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shadowing_maps_to_eq12_error() {
+        // A +x dB shadowing on the link inflates implied loss by x, so
+        // the estimate must match eq. (11): r* = r · 10^(x/(10n)).
+        let m = PathLoss::outdoor_log_distance();
+        let n = m.ranging_exponent();
+        let d = 30.0;
+        for x in [-12.0, -3.0, 0.0, 3.0, 12.0] {
+            let rx = TX - m.loss(Meters(d)) - Db(x);
+            let est = RangingEstimate::from_rx(TX, rx, &m);
+            let expected = d * 10f64.powf(x / (10.0 * n));
+            assert!(
+                (est.distance.0 - expected).abs() / expected < 1e-9,
+                "x={x}: est {} vs {expected}",
+                est.distance.0
+            );
+            let eps = est.relative_error(Meters(d));
+            let eq12 = relative_error_from_shadowing(x, n);
+            assert!((eps - eq12).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn error_bounds_match_eq6() {
+        // ε ∈ [−1, +∞): even an absurdly deep shadow cannot push the
+        // ratio below zero.
+        for x in [-200.0, -50.0, 0.0, 50.0, 200.0] {
+            let eps = relative_error_from_shadowing(x, 4.0);
+            assert!(eps >= -1.0);
+        }
+        assert!((relative_error_from_shadowing(0.0, 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_closed_form_sanity() {
+        // σ = 10 dB, n = 4 (Table I outdoor): σ_y = 10·ln10/40 ≈ 0.5756.
+        let stats = ranging_error_stats(10.0, 4.0);
+        assert!((stats.mean_ratio - (0.5756f64.powi(2) / 2.0).exp()).abs() < 1e-3);
+        assert_eq!(stats.median_ratio, 1.0);
+        assert!(stats.std_ratio > 0.0);
+        // Zero shadowing → no error.
+        let clean = ranging_error_stats(0.0, 4.0);
+        assert_eq!(clean.mean_ratio, 1.0);
+        assert_eq!(clean.std_ratio, 0.0);
+    }
+
+    #[test]
+    fn empirical_error_matches_theory() {
+        // Monte-Carlo over the actual ShadowingField against the closed
+        // form — this is experiment E5 in miniature.
+        let sigma = 10.0;
+        let m = PathLoss::outdoor_log_distance();
+        let n_exp = m.ranging_exponent();
+        let field = ShadowingField::new(99, sigma);
+        let d = 40.0;
+        let trials = 20_000u32;
+        let mut sum = 0.0;
+        for i in 0..trials {
+            let x = field.sample(i, i + 100_000);
+            let rx = TX - m.loss(Meters(d)) - x;
+            let est = RangingEstimate::from_rx(TX, rx, &m);
+            sum += est.distance.0 / d;
+        }
+        let mean_ratio = sum / trials as f64;
+        let theory = ranging_error_stats(sigma, n_exp).mean_ratio;
+        assert!(
+            (mean_ratio - theory).abs() < 0.05,
+            "measured {mean_ratio} theory {theory}"
+        );
+    }
+
+    #[test]
+    fn higher_exponent_means_smaller_ranging_error() {
+        // §III: outdoor n=4 halves the dB-to-distance error sensitivity
+        // versus indoor n=2.
+        let indoor = ranging_error_stats(10.0, 2.0);
+        let outdoor = ranging_error_stats(10.0, 4.0);
+        assert!(outdoor.std_ratio < indoor.std_ratio);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_true_distance_rejected() {
+        let m = PathLoss::PaperPiecewise;
+        let est = RangingEstimate::from_rx(TX, Dbm(-60.0), &m);
+        let _ = est.relative_error(Meters(0.0));
+    }
+}

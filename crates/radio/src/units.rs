@@ -1,0 +1,222 @@
+//! Strongly-typed power and gain units.
+//!
+//! Radio link budgets mix two kinds of decibel quantities that must not
+//! be confused:
+//!
+//! * **Absolute power** ([`Dbm`], [`MilliWatt`]) — "23 dBm transmit
+//!   power", "−95 dBm detection threshold" (Table I).
+//! * **Relative gain/loss** ([`Db`]) — path loss, shadowing, fading.
+//!
+//! The algebra is deliberately restricted: `Dbm ± Db → Dbm` (applying a
+//! gain), `Dbm − Dbm → Db` (a link budget), `Db ± Db → Db`, but
+//! `Dbm + Dbm` does not exist (adding absolute powers requires going
+//! through linear [`MilliWatt`] first, eq. (8) of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// A relative gain (positive) or loss (negative) in decibels.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Db(pub f64);
+
+/// An absolute power level in dB-milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Dbm(pub f64);
+
+/// An absolute power in linear milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct MilliWatt(pub f64);
+
+impl Db {
+    /// The zero gain.
+    pub const ZERO: Db = Db(0.0);
+
+    /// Raw decibel value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The linear power ratio `10^(dB/10)`.
+    #[inline]
+    pub fn as_linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Build from a linear power ratio.
+    #[inline]
+    pub fn from_linear(ratio: f64) -> Db {
+        assert!(ratio > 0.0, "power ratio must be positive, got {ratio}");
+        Db(10.0 * ratio.log10())
+    }
+}
+
+impl Dbm {
+    /// Raw dBm value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Convert to linear milliwatts: `p[mW] = 10^(dBm/10)`.
+    #[inline]
+    pub fn to_milliwatt(self) -> MilliWatt {
+        MilliWatt(10f64.powf(self.0 / 10.0))
+    }
+}
+
+impl MilliWatt {
+    /// Raw milliwatt value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Convert to dBm (the paper's eq. (8) with a 1 mW reference).
+    #[inline]
+    pub fn to_dbm(self) -> Dbm {
+        assert!(self.0 > 0.0, "power must be positive to express in dBm");
+        Dbm(10.0 * self.0.log10())
+    }
+}
+
+// --- gain algebra -----------------------------------------------------
+
+impl core::ops::Add<Db> for Dbm {
+    type Output = Dbm;
+    #[inline]
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Sub<Db> for Dbm {
+    type Output = Dbm;
+    #[inline]
+    fn sub(self, rhs: Db) -> Dbm {
+        Dbm(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Sub<Dbm> for Dbm {
+    type Output = Db;
+    #[inline]
+    fn sub(self, rhs: Dbm) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Add for Db {
+    type Output = Db;
+    #[inline]
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Sub for Db {
+    type Output = Db;
+    #[inline]
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Neg for Db {
+    type Output = Db;
+    #[inline]
+    fn neg(self) -> Db {
+        Db(-self.0)
+    }
+}
+
+impl core::ops::Add for MilliWatt {
+    type Output = MilliWatt;
+    #[inline]
+    fn add(self, rhs: MilliWatt) -> MilliWatt {
+        MilliWatt(self.0 + rhs.0)
+    }
+}
+
+impl core::fmt::Display for Db {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.2} dB", self.0)
+    }
+}
+
+impl core::fmt::Display for Dbm {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.2} dBm", self.0)
+    }
+}
+
+impl core::fmt::Display for MilliWatt {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.4} mW", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_milliwatt_round_trip() {
+        for v in [-95.0, -30.0, 0.0, 23.0] {
+            let back = Dbm(v).to_milliwatt().to_dbm();
+            assert!((back.0 - v).abs() < 1e-9, "{v} -> {back:?}");
+        }
+    }
+
+    #[test]
+    fn known_conversions() {
+        // 0 dBm = 1 mW, 23 dBm ≈ 199.5 mW (Table I device power).
+        assert!((Dbm(0.0).to_milliwatt().0 - 1.0).abs() < 1e-12);
+        assert!((Dbm(23.0).to_milliwatt().0 - 199.526).abs() < 1e-3);
+        assert!((Dbm(10.0).to_milliwatt().0 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_budget_algebra() {
+        let tx = Dbm(23.0);
+        let pl = Db(118.0);
+        let rx = tx - pl;
+        assert!((rx.0 - -95.0).abs() < 1e-12);
+        // Budget: tx − threshold = available path loss.
+        let budget = tx - Dbm(-95.0);
+        assert!((budget.0 - 118.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn db_linear_round_trip() {
+        for v in [-20.0, -3.0, 0.0, 3.0, 20.0] {
+            let back = Db::from_linear(Db(v).as_linear());
+            assert!((back.0 - v).abs() < 1e-9);
+        }
+        assert!((Db(3.0103).as_linear() - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gain_composition() {
+        let g = Db(10.0) + Db(-4.0) - Db(6.0);
+        assert!((g.0 - 0.0).abs() < 1e-12);
+        assert_eq!(-Db(5.0), Db(-5.0));
+    }
+
+    #[test]
+    fn linear_power_sum() {
+        let total = Dbm(0.0).to_milliwatt() + Dbm(0.0).to_milliwatt();
+        assert!((total.to_dbm().0 - 3.0103).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_milliwatt_has_no_dbm() {
+        let _ = MilliWatt(0.0).to_dbm();
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Dbm(23.0).to_string(), "23.00 dBm");
+        assert_eq!(Db(-3.5).to_string(), "-3.50 dB");
+    }
+}

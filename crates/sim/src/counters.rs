@@ -1,0 +1,116 @@
+//! Message and event counters.
+//!
+//! The paper's Fig. 4 reports the *average number of message exchanges*
+//! until convergence. [`Counters`] is the single tally point every
+//! protocol engine increments; it distinguishes the two RACH codecs so
+//! the experiment harness can attribute overhead to regular firefly
+//! operation (RACH1) versus inter-fragment merge handshakes (RACH2), and
+//! it tracks collision/drop counts for the ablation studies.
+
+use serde::{Deserialize, Serialize};
+
+/// Tally of protocol activity during one trial.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Proximity signals broadcast on RACH codec 1 (regular firefly
+    /// operation: firing pulses, discovery beacons).
+    pub rach1_tx: u64,
+    /// Proximity signals broadcast on RACH codec 2 (inter-fragment
+    /// synchronization / merge handshakes).
+    pub rach2_tx: u64,
+    /// Unicast control messages (tree-internal reports, merge requests).
+    pub unicast_tx: u64,
+    /// Individual receptions that decoded successfully.
+    pub rx_ok: u64,
+    /// Receptions lost to preamble collision.
+    pub rx_collision: u64,
+    /// Receptions lost to fading below the detection threshold.
+    pub rx_below_threshold: u64,
+}
+
+impl Counters {
+    /// A zeroed tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total transmitted control messages — the quantity plotted in the
+    /// paper's Fig. 4.
+    pub fn total_tx(&self) -> u64 {
+        self.rach1_tx + self.rach2_tx + self.unicast_tx
+    }
+
+    /// Total reception attempts.
+    pub fn total_rx_attempts(&self) -> u64 {
+        self.rx_ok + self.rx_collision + self.rx_below_threshold
+    }
+
+    /// Fraction of reception attempts lost to collisions (0 when no
+    /// attempts were made).
+    pub fn collision_rate(&self) -> f64 {
+        let attempts = self.total_rx_attempts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.rx_collision as f64 / attempts as f64
+        }
+    }
+
+    /// Merge another tally into this one (used when aggregating trials).
+    pub fn merge(&mut self, other: &Counters) {
+        self.rach1_tx += other.rach1_tx;
+        self.rach2_tx += other.rach2_tx;
+        self.unicast_tx += other.unicast_tx;
+        self.rx_ok += other.rx_ok;
+        self.rx_collision += other.rx_collision;
+        self.rx_below_threshold += other.rx_below_threshold;
+    }
+}
+
+impl core::ops::AddAssign for Counters {
+    fn add_assign(&mut self, rhs: Counters) {
+        self.merge(&rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let c = Counters {
+            rach1_tx: 10,
+            rach2_tx: 5,
+            unicast_tx: 2,
+            rx_ok: 30,
+            rx_collision: 10,
+            rx_below_threshold: 60,
+        };
+        assert_eq!(c.total_tx(), 17);
+        assert_eq!(c.total_rx_attempts(), 100);
+        assert!((c.collision_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collision_rate_handles_zero_attempts() {
+        assert_eq!(Counters::new().collision_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_componentwise() {
+        let mut a = Counters {
+            rach1_tx: 1,
+            rach2_tx: 2,
+            unicast_tx: 3,
+            rx_ok: 4,
+            rx_collision: 5,
+            rx_below_threshold: 6,
+        };
+        let b = a;
+        a += b;
+        assert_eq!(a.rach1_tx, 2);
+        assert_eq!(a.rx_below_threshold, 12);
+        assert_eq!(a.total_tx(), 12);
+    }
+}

@@ -1,0 +1,276 @@
+//! Device mobility — the paper's stated future work.
+//!
+//! The paper evaluates static deployments and closes with: *"In future,
+//! this proximity discovery concept can be extent to more realistic
+//! scenarios of D2D LTE-A networks"*. This module provides the standard
+//! mobility substrate for that extension: the **random waypoint** model
+//! (pick a uniform destination, walk there at a uniform speed, pause,
+//! repeat), discretised to the 1 ms slot grid, plus a simple constant-
+//! velocity model for controlled tests.
+//!
+//! The protocol engines remain static-deployment (as evaluated in the
+//! paper); `MobilityField` lets experiments re-sample positions over
+//! time and measure how stale a discovered tree becomes — see the
+//! `mobility_staleness` test here for the micro version of that
+//! experiment.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::deployment::{Deployment, DeviceId, Meters, Position};
+use crate::time::{Slot, SlotDuration};
+
+/// Walking state of one device under random waypoint.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Walker {
+    pos: Position,
+    dest: Position,
+    /// Meters moved per slot toward `dest` (0 while pausing).
+    speed: f64,
+    /// Slots of pause remaining at the current waypoint.
+    pause_left: u64,
+}
+
+/// Random-waypoint mobility parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WaypointConfig {
+    /// Minimum walking speed in m/s (> 0 to avoid the well-known RWP
+    /// speed-decay pathology).
+    pub min_speed_mps: f64,
+    /// Maximum walking speed in m/s.
+    pub max_speed_mps: f64,
+    /// Maximum pause at each waypoint, in slots.
+    pub max_pause: SlotDuration,
+}
+
+impl Default for WaypointConfig {
+    fn default() -> Self {
+        WaypointConfig {
+            min_speed_mps: 0.5,
+            max_speed_mps: 1.5, // pedestrian
+            max_pause: SlotDuration(5_000),
+        }
+    }
+}
+
+/// Time-evolving positions for a population of devices.
+#[derive(Debug, Clone)]
+pub struct MobilityField {
+    walkers: Vec<Walker>,
+    width: Meters,
+    height: Meters,
+    cfg: WaypointConfig,
+    now: Slot,
+}
+
+impl MobilityField {
+    /// Start from an existing (slot-0) deployment.
+    pub fn random_waypoint<R: Rng + ?Sized>(
+        deployment: &Deployment,
+        cfg: WaypointConfig,
+        rng: &mut R,
+    ) -> MobilityField {
+        assert!(
+            cfg.min_speed_mps > 0.0 && cfg.max_speed_mps >= cfg.min_speed_mps,
+            "speeds must satisfy 0 < min <= max"
+        );
+        let (width, height) = (deployment.width(), deployment.height());
+        let walkers = deployment
+            .positions()
+            .iter()
+            .map(|&pos| {
+                let mut w = Walker {
+                    pos,
+                    dest: pos,
+                    speed: 0.0,
+                    pause_left: 0,
+                };
+                Self::pick_waypoint(&mut w, width, height, &cfg, rng);
+                w
+            })
+            .collect();
+        MobilityField {
+            walkers,
+            width,
+            height,
+            cfg,
+            now: Slot::ZERO,
+        }
+    }
+
+    fn pick_waypoint<R: Rng + ?Sized>(
+        w: &mut Walker,
+        width: Meters,
+        height: Meters,
+        cfg: &WaypointConfig,
+        rng: &mut R,
+    ) {
+        w.dest = Position::new(rng.gen_range(0.0..width.0), rng.gen_range(0.0..height.0));
+        let speed_mps = rng.gen_range(cfg.min_speed_mps..=cfg.max_speed_mps);
+        // Meters per slot (slot = 1 ms).
+        w.speed = speed_mps / 1000.0;
+        w.pause_left = if cfg.max_pause.is_zero() {
+            0
+        } else {
+            rng.gen_range(0..=cfg.max_pause.0)
+        };
+    }
+
+    /// Current simulation time of the field.
+    pub fn now(&self) -> Slot {
+        self.now
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.walkers.len()
+    }
+
+    /// True if the field tracks no devices.
+    pub fn is_empty(&self) -> bool {
+        self.walkers.is_empty()
+    }
+
+    /// Current position of a device.
+    pub fn position(&self, id: DeviceId) -> Position {
+        self.walkers[id as usize].pos
+    }
+
+    /// Advance every walker by `dt` slots.
+    pub fn advance<R: Rng + ?Sized>(&mut self, dt: SlotDuration, rng: &mut R) {
+        for _ in 0..dt.0 {
+            for i in 0..self.walkers.len() {
+                let mut w = self.walkers[i];
+                if w.pause_left > 0 {
+                    w.pause_left -= 1;
+                } else {
+                    let dx = w.dest.x - w.pos.x;
+                    let dy = w.dest.y - w.pos.y;
+                    let dist = (dx * dx + dy * dy).sqrt();
+                    if dist <= w.speed {
+                        w.pos = w.dest;
+                        Self::pick_waypoint(&mut w, self.width, self.height, &self.cfg, rng);
+                    } else {
+                        w.pos.x += w.speed * dx / dist;
+                        w.pos.y += w.speed * dy / dist;
+                    }
+                }
+                self.walkers[i] = w;
+            }
+        }
+        self.now += dt;
+    }
+
+    /// Snapshot the current positions as a static [`Deployment`]
+    /// (what a protocol run at this instant would see).
+    pub fn snapshot(&self) -> Deployment {
+        Deployment::from_positions(
+            self.walkers.iter().map(|w| w.pos).collect(),
+            self.width,
+            self.height,
+        )
+    }
+
+    /// Mean displacement (m) of all devices from a reference snapshot —
+    /// the staleness measure for a tree built at that reference time.
+    pub fn mean_displacement(&self, reference: &Deployment) -> f64 {
+        assert_eq!(reference.len(), self.len());
+        let total: f64 = self
+            .walkers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| reference.position(i as u32).distance(&w.pos).0)
+            .sum();
+        total / self.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+    use rand::SeedableRng;
+
+    fn field(seed: u64) -> (Deployment, MobilityField, Xoshiro256StarStar) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let dep = Deployment::uniform(30, Meters(100.0), Meters(100.0), &mut rng);
+        let f = MobilityField::random_waypoint(&dep, WaypointConfig::default(), &mut rng);
+        (dep, f, rng)
+    }
+
+    #[test]
+    fn starts_at_the_deployment() {
+        let (dep, f, _) = field(1);
+        for i in 0..dep.len() as u32 {
+            let p = f.position(i);
+            let q = dep.position(i);
+            assert_eq!((p.x, p.y), (q.x, q.y));
+        }
+    }
+
+    #[test]
+    fn walkers_stay_in_the_arena() {
+        let (_, mut f, mut rng) = field(2);
+        f.advance(SlotDuration(50_000), &mut rng);
+        for i in 0..f.len() as u32 {
+            let p = f.position(i);
+            assert!((0.0..=100.0).contains(&p.x), "{p:?}");
+            assert!((0.0..=100.0).contains(&p.y), "{p:?}");
+        }
+        assert_eq!(f.now(), Slot(50_000));
+    }
+
+    #[test]
+    fn speed_respects_bounds() {
+        // Over 1 s (1000 slots) nobody may move farther than
+        // max_speed × 1 s.
+        let (dep, mut f, mut rng) = field(3);
+        f.advance(SlotDuration(1000), &mut rng);
+        for i in 0..f.len() as u32 {
+            let moved = dep.position(i).distance(&f.position(i)).0;
+            assert!(moved <= 1.5 + 1e-6, "device {i} moved {moved} m in 1 s");
+        }
+    }
+
+    #[test]
+    fn displacement_grows_with_time() {
+        let (dep, mut f, mut rng) = field(4);
+        f.advance(SlotDuration(5_000), &mut rng);
+        let d1 = f.mean_displacement(&dep);
+        f.advance(SlotDuration(60_000), &mut rng);
+        let d2 = f.mean_displacement(&dep);
+        assert!(d2 > d1, "{d2} should exceed {d1}");
+        assert!(d1 >= 0.0);
+    }
+
+    #[test]
+    fn mobility_staleness() {
+        // Micro-version of the future-work experiment: a tree built at
+        // t=0 refers to links whose endpoints drift; after a minute of
+        // pedestrian motion the mean displacement is several meters —
+        // enough to reorder PS-strength edge weights, so periodic
+        // re-discovery is required.
+        let (dep, mut f, mut rng) = field(5);
+        f.advance(SlotDuration(60_000), &mut rng); // one minute
+        let drift = f.mean_displacement(&dep);
+        assert!(
+            drift > 2.0,
+            "pedestrians should drift meters per minute, got {drift}"
+        );
+        let snap = f.snapshot();
+        assert_eq!(snap.len(), dep.len());
+        assert!((snap.density() - dep.density()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "speeds")]
+    fn zero_min_speed_rejected() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let dep = Deployment::uniform(3, Meters(10.0), Meters(10.0), &mut rng);
+        let cfg = WaypointConfig {
+            min_speed_mps: 0.0,
+            ..WaypointConfig::default()
+        };
+        let _ = MobilityField::random_waypoint(&dep, cfg, &mut rng);
+    }
+}

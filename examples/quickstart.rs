@@ -1,0 +1,49 @@
+//! Quickstart: run the paper's Table-I scenario once and inspect what
+//! the ST protocol produced.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ffd2d::core::{ScenarioConfig, StProtocol, World};
+use ffd2d::sim::time::SlotDuration;
+
+fn main() {
+    // 50 devices, 100 m × 100 m, 23 dBm, −95 dBm threshold, 10 dB
+    // shadowing, UMi-NLOS fading — the paper's Table I.
+    let scenario = ScenarioConfig::table1(50)
+        .seeded(2024)
+        .with_max_slots(SlotDuration(60_000));
+
+    let world = World::new(&scenario);
+    println!(
+        "deployment: {} devices, proximity graph has {} links (avg degree {:.1})",
+        world.n(),
+        world.proximity_graph().m(),
+        2.0 * world.proximity_graph().m() as f64 / world.n() as f64
+    );
+
+    let outcome = StProtocol::run_in(&world);
+
+    match outcome.convergence_time {
+        Some(t) => println!("converged in {} ms of simulated time", t.as_millis()),
+        None => println!("did not converge within the horizon"),
+    }
+    println!(
+        "spanning tree: {} edges over {} merge rounds",
+        outcome.tree_edges.len(),
+        outcome.merge_rounds
+    );
+    println!(
+        "messages: {} total ({} RACH1 fires, {} RACH2 handshake, {} tree unicast)",
+        outcome.messages(),
+        outcome.counters.rach1_tx,
+        outcome.counters.rach2_tx,
+        outcome.counters.unicast_tx
+    );
+    println!(
+        "discovery: {:.1}% of audible links found, {} same-service pairs",
+        (100.0 * outcome.discovery_completeness()).min(100.0),
+        outcome.service_matches
+    );
+}

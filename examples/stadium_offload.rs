@@ -1,0 +1,62 @@
+//! Stadium traffic offload — why the tree matters at scale.
+//!
+//! A dense crowd (300 UEs in the Table-I arena) wants D2D links to
+//! offload the base station. Before any D2D traffic can flow the crowd
+//! must discover neighbours and synchronize. This example runs the
+//! mesh baseline (FST) and the proposed tree method (ST) on the *same*
+//! crowd and prints the trade-off the paper's Figs. 3–4 plot: at this
+//! scale the mesh fails to lock while the tree converges with bounded
+//! signalling.
+//!
+//! ```text
+//! cargo run --release --example stadium_offload
+//! ```
+
+use ffd2d::baseline::FstProtocol;
+use ffd2d::core::{ScenarioConfig, StProtocol, World};
+use ffd2d::sim::time::SlotDuration;
+
+fn main() {
+    let scenario = ScenarioConfig::table1(300)
+        .seeded(90_000)
+        .with_max_slots(SlotDuration(30_000));
+    println!("building the crowd (300 UEs, 100 m × 100 m, Table-I radio) ...");
+    let world = World::new(&scenario);
+
+    println!("running FST (mesh firefly baseline) ...");
+    let fst = FstProtocol::run_in(&world);
+    println!("running ST (proposed tree method) ...");
+    let st = StProtocol::run_in(&world);
+
+    let describe = |name: &str, out: &ffd2d::core::RunOutcome| {
+        let time = match out.convergence_time {
+            Some(t) => format!("{} ms", t.as_millis()),
+            None => format!(">{} ms (did not converge)", scenario.sim.max_slots.as_millis()),
+        };
+        println!(
+            "  {name:<4} convergence: {time:<28} messages: {:>8}  collision rate: {:>5.1}%",
+            out.messages(),
+            100.0 * out.counters.collision_rate()
+        );
+    };
+    describe("FST", &fst);
+    describe("ST", &st);
+
+    if st.converged() {
+        println!(
+            "\nST built a {}-edge spanning tree in {} merge rounds;",
+            st.tree_edges.len(),
+            st.merge_rounds
+        );
+        println!(
+            "the crowd is slot-synchronized and ready for D2D offload scheduling."
+        );
+    }
+    if !fst.converged() && st.converged() {
+        println!(
+            "at this density the mesh jams itself (its {} messages bought no sync), \
+             which is exactly the paper's argument for the tree.",
+            fst.messages()
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-crate integration tests: the full stack, driven through the
+//! `ffd2d` facade exactly as a downstream user would.
+
+use ffd2d::baseline::FstProtocol;
+use ffd2d::core::{ScenarioConfig, StProtocol, World};
+use ffd2d::graph::connectivity::is_connected;
+use ffd2d::graph::tree::is_spanning_tree;
+use ffd2d::graph::{Edge, W};
+use ffd2d::sim::time::SlotDuration;
+
+fn scenario(n: usize, seed: u64) -> ScenarioConfig {
+    ScenarioConfig::table1(n)
+        .seeded(seed)
+        .with_max_slots(SlotDuration(120_000))
+}
+
+#[test]
+fn st_full_stack_converges_and_builds_a_valid_tree() {
+    let cfg = scenario(40, 1);
+    let world = World::new(&cfg);
+    assert!(is_connected(world.proximity_graph()));
+
+    let out = StProtocol::run_in(&world);
+    assert!(out.converged(), "{out:?}");
+    assert_eq!(out.tree_edges.len(), 39);
+    let edges: Vec<Edge> = out
+        .tree_edges
+        .iter()
+        .map(|&(u, v)| Edge::new(u, v, W::new(0.0)))
+        .collect();
+    assert!(is_spanning_tree(40, &edges), "edges are not a spanning tree");
+
+    // Every accepted tree edge must be a usable radio link: its mean
+    // power should at least be near the detection threshold (marginal
+    // fading links are possible, hard failures are not).
+    for &(u, v) in &out.tree_edges {
+        let p = world.mean_rx_dbm(u, v);
+        assert!(
+            p >= world.threshold_dbm() - 9.0,
+            "tree uses an unusable link {u}-{v} at {p} dBm"
+        );
+    }
+}
+
+#[test]
+fn paired_protocols_share_identical_worlds() {
+    let cfg = scenario(25, 2);
+    let world = World::new(&cfg);
+    let st = StProtocol::run_in(&world);
+    let fst = FstProtocol::run_in(&world);
+    // Same ground truth in both outcomes.
+    assert_eq!(st.ground_truth_links, fst.ground_truth_links);
+    assert_eq!(st.n_devices, fst.n_devices);
+    // Both synchronize this small scenario.
+    assert!(st.converged() && fst.converged());
+    // Only ST builds a tree; only ST spends RACH2/unicast signalling.
+    assert!(!st.tree_edges.is_empty());
+    assert!(fst.tree_edges.is_empty());
+    assert_eq!(fst.counters.rach2_tx + fst.counters.unicast_tx, 0);
+    assert!(st.counters.rach2_tx > 0);
+}
+
+#[test]
+fn facade_reexports_cover_the_stack() {
+    // Compile-time integration check: one item per substrate crate,
+    // reached through the facade.
+    let _slot = ffd2d::sim::Slot(0);
+    let _dbm = ffd2d::radio::Dbm(23.0);
+    let _codec = ffd2d::phy::RachCodec::Rach1;
+    let _uf = ffd2d::graph::UnionFind::new(4);
+    let _prc = ffd2d::osc::Prc::standard();
+    let _sum = ffd2d::metrics::Summary::new();
+    let out = ffd2d::parallel::parallel_map(&[1, 2, 3], |x| x * 2);
+    assert_eq!(out, vec![2, 4, 6]);
+}
+
+#[test]
+fn ideal_channel_tree_is_the_unique_maximum_spanning_tree() {
+    let cfg = scenario(18, 3).ideal_channel();
+    let world = World::new(&cfg);
+    let out = StProtocol::run_in(&world);
+    assert!(out.converged());
+    let oracle = ffd2d::graph::kruskal_max_st(world.proximity_graph());
+    let oracle_edges: Vec<(u32, u32)> = oracle.edges.iter().map(|e| (e.u, e.v)).collect();
+    assert_eq!(out.tree_edges, oracle_edges);
+}
+
+#[test]
+fn two_device_network_is_the_smallest_working_case() {
+    let cfg = scenario(2, 4).ideal_channel();
+    let out = StProtocol::run(&cfg);
+    assert!(out.converged());
+    assert_eq!(out.tree_edges, vec![(0, 1)]);
+    let fst = FstProtocol::run(&cfg);
+    assert!(fst.converged());
+}
+
+#[test]
+fn shadowed_worlds_still_converge_across_seeds() {
+    for seed in 10..15 {
+        let out = StProtocol::run(&scenario(35, seed));
+        assert!(out.converged(), "seed {seed}: {out:?}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Protocol-level invariants checked over many seeded runs: the
+//! conservation laws that must hold for *every* trial, converged or
+//! not.
+
+use ffd2d::baseline::FstProtocol;
+use ffd2d::core::{ScenarioConfig, StProtocol, World};
+use ffd2d::graph::UnionFind;
+use ffd2d::sim::time::SlotDuration;
+
+fn outcomes(n: usize) -> Vec<(ffd2d::core::RunOutcome, World)> {
+    (0..4u64)
+        .map(|seed| {
+            let cfg = ScenarioConfig::table1(n)
+                .seeded(seed * 13 + 1)
+                .with_max_slots(SlotDuration(60_000));
+            let world = World::new(&cfg);
+            (StProtocol::run_in(&world), world)
+        })
+        .collect()
+}
+
+#[test]
+fn tree_edges_are_always_a_forest() {
+    for (out, _) in outcomes(30) {
+        let mut uf = UnionFind::new(out.n_devices);
+        for &(u, v) in &out.tree_edges {
+            assert!(
+                uf.union(u, v),
+                "cycle in accepted tree edges: {:?}",
+                out.tree_edges
+            );
+        }
+        assert!(out.tree_edges.len() < out.n_devices);
+    }
+}
+
+#[test]
+fn message_counters_are_internally_consistent() {
+    for (out, _) in outcomes(25) {
+        let c = &out.counters;
+        assert_eq!(out.messages(), c.rach1_tx + c.rach2_tx + c.unicast_tx);
+        // Every reception outcome requires at least one transmission.
+        if c.total_rx_attempts() > 0 {
+            assert!(c.total_tx() > 0);
+        }
+        // Collision rate is a valid probability.
+        let rate = c.collision_rate();
+        assert!((0.0..=1.0).contains(&rate));
+        // The discovery tally cannot exceed all ordered pairs.
+        let pairs = (out.n_devices * (out.n_devices - 1)) as u64;
+        assert!(out.discovered_links <= pairs);
+        assert!(out.service_matches <= out.discovered_links);
+    }
+}
+
+#[test]
+fn converged_runs_have_spanning_trees_on_connected_worlds() {
+    for (out, world) in outcomes(30) {
+        if out.converged() && ffd2d::graph::connectivity::is_connected(world.proximity_graph())
+        {
+            assert_eq!(
+                out.tree_edges.len(),
+                out.n_devices - 1,
+                "converged but tree incomplete"
+            );
+        }
+    }
+}
+
+#[test]
+fn fst_never_spends_tree_signalling() {
+    for seed in 0..4u64 {
+        let cfg = ScenarioConfig::table1(20)
+            .seeded(seed)
+            .with_max_slots(SlotDuration(30_000));
+        let out = FstProtocol::run(&cfg);
+        assert_eq!(out.counters.rach2_tx, 0);
+        assert_eq!(out.counters.unicast_tx, 0);
+        assert_eq!(out.merge_rounds, 0);
+        assert!(out.tree_edges.is_empty());
+    }
+}
+
+#[test]
+fn horizon_is_respected() {
+    // A one-slot horizon: nothing converges, nothing overruns, nothing
+    // panics.
+    let cfg = ScenarioConfig::table1(10)
+        .seeded(3)
+        .with_max_slots(SlotDuration(1));
+    let st = StProtocol::run(&cfg);
+    assert!(!st.converged());
+    let fst = FstProtocol::run(&cfg);
+    assert!(!fst.converged());
+    assert_eq!(st.time_or(SlotDuration(1)), SlotDuration(1));
+}

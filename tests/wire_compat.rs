@@ -1,0 +1,113 @@
+//! Wire-format compatibility: everything the protocol engines put on
+//! the air round-trips through the PHY frame codec, and the collision
+//! medium treats encoded/decoded frames identically.
+
+use ffd2d::phy::codec::{RachCodec, ServiceClass};
+use ffd2d::phy::frame::{FrameKind, ProximitySignal};
+use ffd2d::phy::medium::{Medium, Transmission};
+use ffd2d::radio::channel::{Channel, ChannelConfig};
+use ffd2d::sim::deployment::{Deployment, Meters, Position};
+use ffd2d::sim::{Counters, Slot};
+
+fn engine_frames() -> Vec<ProximitySignal> {
+    // The exact frame kinds the ST engine broadcasts (fires, beacons,
+    // handshakes) — beacons are fires with the sentinel age.
+    vec![
+        ProximitySignal {
+            sender: 0,
+            service: ServiceClass::new(2),
+            kind: FrameKind::Fire {
+                fragment: 17,
+                age: 5,
+            },
+        },
+        ProximitySignal {
+            sender: 1,
+            service: ServiceClass::new(0),
+            kind: FrameKind::Fire {
+                fragment: 1,
+                age: u8::MAX, // keep-alive beacon sentinel
+            },
+        },
+        ProximitySignal {
+            sender: 2,
+            service: ServiceClass::new(1),
+            kind: FrameKind::HConnect {
+                to: 0,
+                fragment: 2,
+                fragment_size: 41,
+                head: 2,
+            },
+        },
+    ]
+}
+
+#[test]
+fn every_engine_frame_round_trips() {
+    for sig in engine_frames() {
+        let bytes = sig.encode();
+        let decoded = ProximitySignal::decode(bytes.clone()).expect("decode");
+        assert_eq!(decoded, sig);
+        // Encoding is stable (same signal → same bytes).
+        assert_eq!(sig.encode(), bytes);
+    }
+}
+
+#[test]
+fn codec_assignment_survives_the_wire() {
+    for sig in engine_frames() {
+        let decoded = ProximitySignal::decode(sig.encode()).unwrap();
+        assert_eq!(decoded.codec(), sig.codec());
+    }
+    // Fires are RACH1, handshakes RACH2.
+    assert_eq!(engine_frames()[0].codec(), RachCodec::Rach1);
+    assert_eq!(engine_frames()[2].codec(), RachCodec::Rach2);
+}
+
+#[test]
+fn medium_is_agnostic_to_an_encode_decode_pass() {
+    let dep = Deployment::from_positions(
+        vec![
+            Position::new(0.0, 0.0),
+            Position::new(15.0, 0.0),
+            Position::new(40.0, 0.0),
+        ],
+        Meters(100.0),
+        Meters(100.0),
+    );
+    let ch = Channel::new(&dep, ChannelConfig::default(), 5);
+    let medium = Medium::default();
+    let receivers = [0u32, 1, 2];
+
+    let direct: Vec<Transmission> = engine_frames()
+        .into_iter()
+        .map(Transmission::new)
+        .collect();
+    let reencoded: Vec<Transmission> = engine_frames()
+        .into_iter()
+        .map(|s| Transmission::new(ProximitySignal::decode(s.encode()).unwrap()))
+        .collect();
+
+    let mut c1 = Counters::new();
+    let mut c2 = Counters::new();
+    let r1 = medium.resolve(&ch, Slot(7), &direct, &receivers, &mut c1);
+    let r2 = medium.resolve(&ch, Slot(7), &reencoded, &receivers, &mut c2);
+    assert_eq!(c1, c2);
+    for (a, b) in r1.iter().zip(&r2) {
+        assert_eq!(a.decoded, b.decoded);
+    }
+}
+
+#[test]
+fn frame_sizes_fit_a_rach_payload() {
+    // A PRACH-multiplexed payload is tiny; every protocol frame must
+    // stay within a conservative 32-byte budget.
+    for sig in engine_frames() {
+        assert!(
+            sig.encode().len() <= 32,
+            "{:?} is {} bytes",
+            sig.kind,
+            sig.encode().len()
+        );
+    }
+}
