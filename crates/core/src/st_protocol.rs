@@ -1245,8 +1245,11 @@ mod tests {
         let a = StProtocol::run(&cfg(20, 3));
         let b = StProtocol::run(&cfg(20, 3));
         assert_eq!(a, b);
+        // A different seed changes the deployment and the whole
+        // trajectory; compare full outputs rather than the (slot-
+        // quantized, collision-prone) convergence time alone.
         let c = StProtocol::run(&cfg(20, 4));
-        assert_ne!(a.convergence_time, c.convergence_time);
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The per-trial world and its fast shared medium.
 //!
-//! [`World`] instantiates one trial of a scenario: the deployment, the
-//! composed channel (with all per-link randomness cached), the
-//! ground-truth proximity graph of §IV (edges where the long-term PS
-//! strength clears the −95 dBm threshold, weighted by that strength) and
+//! [`World`] instantiates one trial of a scenario: the deployment, a
+//! spatial-grid neighbor index over it, the ground-truth proximity graph
+//! of §IV (edges where the long-term PS strength clears the −95 dBm
+//! threshold, weighted by that strength; built lazily on first use) and
 //! the per-device service interests.
 //!
 //! ## Why a second medium implementation
@@ -11,55 +11,95 @@
 //! `ffd2d_phy::Medium` is the reference resolver: it re-samples the
 //! channel per (tx, rx) pair through the full `Channel` stack and is
 //! exactly right for protocol-correctness tests. The figure sweeps,
-//! however, run populations of up to 1000 devices for tens of thousands
-//! of slots — the hot loop is `(transmissions × audible receivers)` per
-//! slot. [`FastMedium`] implements the *same* decode/collision/capture
-//! semantics against cached mean link powers plus the deterministic
-//! fading draw, with epoch-stamped per-receiver accumulators so a slot
-//! costs O(candidates) with zero allocation. Equivalence with the
-//! reference resolver is pinned by tests in this module.
+//! however, run populations of thousands of devices for tens of
+//! thousands of slots — the hot loop is `(transmissions × receivers)`
+//! per slot. [`FastMedium`] implements the *same*
+//! decode/collision/capture semantics with three optimisations:
+//!
+//! 1. **Spatial pruning.** Devices are bucketed into a
+//!    [`SpatialGrid`] whose cell side is the worst-case audibility
+//!    radius — the distance at which even the most favourable
+//!    shadowing/fading realisation cannot reach the detection threshold
+//!    (`ChannelConfig::max_audible_range`). Collision resolution is
+//!    batched per grid cell: each transmission is posted to the cells
+//!    its audibility disc covers, then receivers are walked cell by
+//!    cell. Pairs outside the disc are *provably* inaudible, so —
+//!    unlike a statistical fade margin — pruning changes no decode
+//!    decision, for any seed.
+//! 2. **Lazy link gains.** There is no `n × n` gain matrix: mean link
+//!    powers are computed on demand and memoised in a bounded
+//!    per-device LRU of hot links, so memory stays O(n) at any scale.
+//! 3. **Epoch-stamped accumulators.** Per-(receiver, codec) collision
+//!    state is slot-stamped, so a slot costs O(candidates) with zero
+//!    allocation, and delivery order is fixed by sorting touched keys.
+//!
+//! Counters are reconstructed exactly: a detected pair increments the
+//! accumulator, and the below-threshold tally is recovered as
+//! `(#transmissions × #non-transmitting receivers) − #detected`, which
+//! is what the reference resolver counts pair by pair. Equivalence with
+//! the reference resolver is pinned by tests in this module and by the
+//! `medium_equivalence` integration harness.
+
+use std::sync::OnceLock;
 
 use rand::Rng;
 
+use ffd2d_graph::adjacency::WeightedGraph;
+use ffd2d_graph::spatial::SpatialGrid;
+use ffd2d_graph::weight::W;
 use ffd2d_phy::codec::{RachCodec, ServiceClass};
 use ffd2d_phy::frame::ProximitySignal;
 use ffd2d_radio::channel::{Channel, ChannelConfig};
 use ffd2d_radio::fading::FadingModel;
-use ffd2d_graph::adjacency::WeightedGraph;
-use ffd2d_graph::weight::W;
+use ffd2d_radio::pathloss::PathLoss;
+use ffd2d_radio::shadowing::ShadowingField;
+use ffd2d_radio::units::Dbm;
 use ffd2d_sim::counters::Counters;
-use ffd2d_sim::deployment::{Deployment, DeviceId, Meters};
+use ffd2d_sim::deployment::{Deployment, DeviceId, Meters, Position};
 use ffd2d_sim::rng::{StreamId, StreamRng};
 use ffd2d_sim::time::Slot;
 
 use crate::scenario::ScenarioConfig;
 
-/// Fading headroom used when precomputing candidate receiver lists: a
-/// link whose mean power is below `threshold − margin` is treated as
-/// never audible. P(Rayleigh power gain > 9 dB) ≈ 3·10⁻⁴, so the
-/// truncation is negligible.
-const FADE_MARGIN_DB: f64 = 9.0;
+/// Floor on the grid cell side relative to the arena: at most 256×256
+/// cells, so degenerate configurations (tiny radius in a huge arena)
+/// cannot blow up cell-index memory.
+const MAX_CELLS_PER_AXIS: f64 = 256.0;
 
 /// One trial's fully-instantiated world.
 #[derive(Debug, Clone)]
 pub struct World {
     cfg: ScenarioConfig,
     deployment: Deployment,
-    /// Row-major `n × n` mean received power in dBm (`NEG_INFINITY` on
-    /// the diagonal).
-    mean_dbm: Vec<f64>,
-    /// Per-device candidate receivers (mean power within fade margin of
-    /// the threshold).
-    audible: Vec<Vec<DeviceId>>,
-    /// Ground-truth §IV proximity graph (long-term links, PS-strength
-    /// weights).
-    graph: WeightedGraph,
+    /// Spatial index over device positions; cell side = worst-case
+    /// audibility radius (clamped to the arena diagonal).
+    grid: SpatialGrid,
+    /// Ground-truth §IV proximity graph, built lazily on first access
+    /// via the grid (construction is O(n · occupancy), not O(n²)).
+    graph: OnceLock<WeightedGraph>,
     /// Per-device service interests.
     services: Vec<ServiceClass>,
+    // Decomposed channel state, so mean powers are computable on demand
+    // without re-borrowing the deployment through a `Channel`.
+    tx_power: Dbm,
+    pathloss: PathLoss,
+    shadowing: ShadowingField,
     fading: FadingModel,
     fading_seed: u64,
     threshold_dbm: f64,
     capture_margin_db: f64,
+    /// Provable fading headroom: mean below `threshold − headroom` can
+    /// never be detected.
+    fade_headroom_db: f64,
+    /// Worst-case audibility radius (any realisation), clamped to the
+    /// arena diagonal — the medium's grid-query radius.
+    audible_range_m: f64,
+    /// Worst-case *mean*-link radius (shadowing only) — the proximity
+    /// graph's candidate radius.
+    mean_link_range_m: f64,
+    /// Bumped by every re-bucketing; media drop their link caches when
+    /// it moves.
+    version: u64,
 }
 
 impl World {
@@ -69,29 +109,15 @@ impl World {
         let seed = cfg.sim.seed;
         let n = cfg.sim.n_devices;
         let mut dep_rng = StreamRng::new(seed, 0, StreamId::Deployment);
-        let deployment = Deployment::uniform(n, cfg.sim.area_width, cfg.sim.area_height, &mut dep_rng);
+        let deployment =
+            Deployment::uniform(n, cfg.sim.area_width, cfg.sim.area_height, &mut dep_rng);
 
-        // Cache long-term link powers through the reference channel.
-        let channel = Channel::new(&deployment, cfg.channel.clone(), seed);
-        let threshold_dbm = cfg.channel.detection_threshold.get();
-        let mut mean_dbm = vec![f64::NEG_INFINITY; n * n];
-        let mut graph = WeightedGraph::new(n);
-        let mut audible: Vec<Vec<DeviceId>> = vec![Vec::new(); n];
-        for a in 0..n as DeviceId {
-            for b in 0..n as DeviceId {
-                if a == b {
-                    continue;
-                }
-                let p = channel.mean_rx_power(a, b).get();
-                mean_dbm[a as usize * n + b as usize] = p;
-                if p >= threshold_dbm - FADE_MARGIN_DB {
-                    audible[a as usize].push(b);
-                }
-                if a < b && p >= threshold_dbm {
-                    graph.add_edge(a, b, W::new(p));
-                }
-            }
-        }
+        let (w, h) = (cfg.sim.area_width.get(), cfg.sim.area_height.get());
+        let diagonal = (w * w + h * h).sqrt();
+        let audible_range_m = cfg.channel.max_audible_range().get().min(diagonal);
+        let mean_link_range_m = cfg.channel.max_mean_link_range().get().min(diagonal);
+        let cell = audible_range_m.max(w.max(h) / MAX_CELLS_PER_AXIS);
+        let grid = SpatialGrid::new(w, h, cell, &deployment.coords());
 
         let mut svc_rng = StreamRng::new(seed, 0, StreamId::Services);
         let services = (0..n)
@@ -99,16 +125,24 @@ impl World {
             .collect();
 
         World {
-            cfg: cfg.clone(),
             deployment,
-            mean_dbm,
-            audible,
-            graph,
+            grid,
+            graph: OnceLock::new(),
             services,
+            tx_power: cfg.channel.tx_power,
+            pathloss: cfg.channel.pathloss,
+            // Mirrors `Channel::new` exactly, so on-demand means are
+            // bit-identical to `Channel::mean_rx_power`.
+            shadowing: ShadowingField::new(seed ^ 0x5AD0, cfg.channel.shadowing_sigma_db),
             fading: cfg.channel.fading,
             fading_seed: seed ^ 0xFAD0,
-            threshold_dbm,
+            threshold_dbm: cfg.channel.detection_threshold.get(),
             capture_margin_db: 6.0,
+            fade_headroom_db: cfg.channel.fade_headroom_db(),
+            audible_range_m,
+            mean_link_range_m,
+            version: 0,
+            cfg: cfg.clone(),
         }
     }
 
@@ -128,10 +162,40 @@ impl World {
         &self.deployment
     }
 
+    /// The spatial neighbor index over the current positions.
+    pub fn spatial_grid(&self) -> &SpatialGrid {
+        &self.grid
+    }
+
     /// Ground-truth proximity graph (edges = long-term audible links,
-    /// weights = mean PS strength in dBm).
+    /// weights = mean PS strength in dBm). Built lazily on first call;
+    /// candidate pairs come from the spatial grid at the worst-case
+    /// mean-link radius, so construction never scans inaudible pairs.
     pub fn proximity_graph(&self) -> &WeightedGraph {
-        &self.graph
+        self.graph.get_or_init(|| self.build_proximity_graph())
+    }
+
+    fn build_proximity_graph(&self) -> WeightedGraph {
+        let n = self.n();
+        let mut g = WeightedGraph::new(n);
+        let mut candidates: Vec<DeviceId> = Vec::new();
+        for a in 0..n as DeviceId {
+            let p = self.deployment.position(a);
+            candidates.clear();
+            self.grid
+                .within(p.x, p.y, self.mean_link_range_m, &mut candidates);
+            // `within` returns ids ascending, so edges are inserted in
+            // the same (a asc, b asc) order as a dense double loop.
+            for &b in &candidates {
+                if b > a {
+                    let w = self.mean_rx_dbm(a, b);
+                    if w >= self.threshold_dbm {
+                        g.add_edge(a, b, W::new(w));
+                    }
+                }
+            }
+        }
+        g
     }
 
     /// Per-device service interests.
@@ -145,16 +209,40 @@ impl World {
         self.threshold_dbm
     }
 
-    /// Candidate receivers of `tx` (within fade margin).
+    /// Provable fading headroom in dB (`FadingModel::max_gain_db`).
     #[inline]
-    pub fn audible_candidates(&self, tx: DeviceId) -> &[DeviceId] {
-        &self.audible[tx as usize]
+    pub fn fade_headroom_db(&self) -> f64 {
+        self.fade_headroom_db
     }
 
-    /// Long-term mean received power of link `a → b` in dBm.
+    /// Worst-case audibility radius in meters — the spatial-grid query
+    /// radius used by the medium.
+    #[inline]
+    pub fn audible_range_m(&self) -> f64 {
+        self.audible_range_m
+    }
+
+    /// Candidate receivers of `tx`: every device within the worst-case
+    /// audibility radius, ascending, excluding `tx` itself. A device
+    /// outside this set can never detect `tx`, for any seed.
+    pub fn audible_candidates(&self, tx: DeviceId) -> Vec<DeviceId> {
+        let p = self.deployment.position(tx);
+        let mut out = Vec::new();
+        self.grid.within(p.x, p.y, self.audible_range_m, &mut out);
+        out.retain(|&b| b != tx);
+        out
+    }
+
+    /// Long-term mean received power of link `a → b` in dBm, computed
+    /// on demand (path loss + shadowing; bit-identical to
+    /// `Channel::mean_rx_power`). `NEG_INFINITY` on the diagonal.
     #[inline]
     pub fn mean_rx_dbm(&self, a: DeviceId, b: DeviceId) -> f64 {
-        self.mean_dbm[a as usize * self.n() + b as usize]
+        if a == b {
+            return f64::NEG_INFINITY;
+        }
+        let d = self.deployment.distance(a, b);
+        (self.tx_power - self.pathloss.loss(d) + self.shadowing.sample(a, b)).get()
     }
 
     /// Instantaneous received power (mean + block fading) in dBm.
@@ -176,14 +264,48 @@ impl World {
     /// Rebuild the reference channel (borrowing this world's
     /// deployment) — for tests that cross-check the fast path.
     pub fn reference_channel(&self) -> Channel<'_> {
-        Channel::new(&self.deployment, self.cfg.channel.clone(), self.cfg.sim.seed)
+        Channel::new(
+            &self.deployment,
+            self.cfg.channel.clone(),
+            self.cfg.sim.seed,
+        )
+    }
+
+    /// Monotone re-bucketing counter: attached media invalidate their
+    /// link caches when this moves.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Move every device (e.g. to a `MobilityField` snapshot): clamps
+    /// into the arena, re-buckets the spatial grid in O(n), drops the
+    /// lazily-built proximity graph and bumps [`World::version`] so
+    /// attached [`FastMedium`]s discard their memoised link gains.
+    ///
+    /// The shadowing field is positional only through the path loss (a
+    /// per-link draw, the standard correlated-shadowing simplification),
+    /// so mean powers after the move remain bit-identical to a fresh
+    /// `Channel` over the moved deployment.
+    pub fn update_positions(&mut self, positions: &[Position]) {
+        self.deployment.set_positions(positions);
+        self.grid.rebucket(&self.deployment.coords());
+        self.graph = OnceLock::new();
+        self.version += 1;
     }
 }
+
+/// Associativity of the per-device link-gain LRU in [`FastMedium`].
+const LINK_CACHE_WAYS: usize = 8;
 
 /// Epoch-stamped slot resolver with the same semantics as
 /// [`ffd2d_phy::Medium`]: per receiver and codec, a lone above-threshold
 /// signal decodes; several collide unless the strongest beats the
 /// runner-up by the capture margin; transmitters are half-duplex deaf.
+///
+/// A `FastMedium` is bound to the [`World`] it first resolves against:
+/// its memoised link gains are keyed by device ids and invalidated via
+/// [`World::version`]. Do not share one across worlds.
 #[derive(Debug)]
 pub struct FastMedium {
     /// Per `(receiver, codec)` accumulator epoch (slot-stamped).
@@ -196,6 +318,18 @@ pub struct FastMedium {
     /// Per-device transmit epoch (half-duplex tracking).
     tx_stamp: Vec<u64>,
     epoch: u64,
+    /// Per-cell transmission batches (epoch-stamped, allocation reused).
+    cell_stamp: Vec<u64>,
+    cell_txs: Vec<Vec<u32>>,
+    touched_cells: Vec<u32>,
+    /// Per-receiver LRU of mean link gains: `LINK_CACHE_WAYS` ways per
+    /// device. `u32::MAX` marks an empty way.
+    cache_peer: Vec<u32>,
+    cache_mean: Vec<f64>,
+    cache_used: Vec<u64>,
+    tick: u64,
+    /// `world.version() + 1` the cache is valid for (0 = none yet).
+    cache_world_version: u64,
 }
 
 impl FastMedium {
@@ -210,6 +344,14 @@ impl FastMedium {
             touched: Vec::with_capacity(64),
             tx_stamp: vec![0; n],
             epoch: 0,
+            cell_stamp: Vec::new(),
+            cell_txs: Vec::new(),
+            touched_cells: Vec::new(),
+            cache_peer: vec![u32::MAX; n * LINK_CACHE_WAYS],
+            cache_mean: vec![f64::NEG_INFINITY; n * LINK_CACHE_WAYS],
+            cache_used: vec![0; n * LINK_CACHE_WAYS],
+            tick: 0,
+            cache_world_version: 0,
         }
     }
 
@@ -221,10 +363,47 @@ impl FastMedium {
         }
     }
 
+    /// Size scratch state to `world` and drop the link cache if the
+    /// world re-bucketed since the last slot.
+    fn sync_with(&mut self, world: &World) {
+        let cells = world.grid.cell_count();
+        if self.cell_stamp.len() != cells {
+            self.cell_stamp = vec![0; cells];
+            self.cell_txs = vec![Vec::new(); cells];
+        }
+        if self.cache_world_version != world.version() + 1 {
+            self.cache_world_version = world.version() + 1;
+            self.cache_peer.iter_mut().for_each(|p| *p = u32::MAX);
+        }
+    }
+
+    /// Mean link gain `sender → receiver` through the per-receiver LRU.
+    #[inline]
+    fn mean_cached(&mut self, world: &World, sender: DeviceId, receiver: DeviceId) -> f64 {
+        let base = receiver as usize * LINK_CACHE_WAYS;
+        self.tick += 1;
+        let mut victim = base;
+        for way in base..base + LINK_CACHE_WAYS {
+            if self.cache_peer[way] == sender {
+                self.cache_used[way] = self.tick;
+                return self.cache_mean[way];
+            }
+            if self.cache_used[way] < self.cache_used[victim] {
+                victim = way;
+            }
+        }
+        let mean = world.mean_rx_dbm(sender, receiver);
+        self.cache_peer[victim] = sender;
+        self.cache_mean[victim] = mean;
+        self.cache_used[victim] = self.tick;
+        mean
+    }
+
     /// Resolve one slot: every decoded `(receiver, signal, rx_dbm)`
     /// triple is fed to `deliver` (the received power is what RSSI
     /// ranging consumes), and `counters` tallies transmissions and
-    /// reception outcomes.
+    /// reception outcomes. Every device is a potential receiver, as with
+    /// the reference resolver over the full receiver set.
     pub fn resolve<F: FnMut(DeviceId, &ProximitySignal, f64)>(
         &mut self,
         world: &World,
@@ -236,47 +415,97 @@ impl FastMedium {
         if transmissions.is_empty() {
             return;
         }
+        self.sync_with(world);
         self.epoch += 1;
         let epoch = self.epoch;
         self.touched.clear();
+        self.touched_cells.clear();
 
+        let mut distinct_senders = 0u64;
         for tx in transmissions {
             match tx.codec() {
                 RachCodec::Rach1 => counters.rach1_tx += 1,
                 RachCodec::Rach2 => counters.rach2_tx += 1,
             }
-            self.tx_stamp[tx.sender as usize] = epoch;
+            let s = tx.sender as usize;
+            if self.tx_stamp[s] != epoch {
+                self.tx_stamp[s] = epoch;
+                distinct_senders += 1;
+            }
         }
 
+        // Post each transmission to every cell its audibility disc
+        // covers; cells keep tx indices in transmission order.
+        let radius = world.audible_range_m();
         for (ti, tx) in transmissions.iter().enumerate() {
-            let ci = Self::codec_index(tx.codec());
-            for &r in world.audible_candidates(tx.sender) {
+            let p = world.deployment.position(tx.sender);
+            for cell in world.grid.cells_intersecting_disc(p.x, p.y, radius) {
+                if self.cell_stamp[cell] != epoch {
+                    self.cell_stamp[cell] = epoch;
+                    self.cell_txs[cell].clear();
+                    self.touched_cells.push(cell as u32);
+                }
+                self.cell_txs[cell].push(ti as u32);
+            }
+        }
+        // Batched, deterministic resolution: cells ascending, receivers
+        // ascending within a cell, transmissions in submission order.
+        self.touched_cells.sort_unstable();
+
+        let threshold = world.threshold_dbm();
+        let mean_floor = threshold - world.fade_headroom_db();
+        let mut detected = 0u64;
+        for ci in 0..self.touched_cells.len() {
+            let cell = self.touched_cells[ci] as usize;
+            let txs_here = std::mem::take(&mut self.cell_txs[cell]);
+            for &r in world.grid.cell_items(cell) {
                 if self.tx_stamp[r as usize] == epoch {
                     continue; // half-duplex: transmitting receivers are deaf
                 }
-                let p = world.rx_dbm(tx.sender, r, slot);
-                if p < world.threshold_dbm() {
-                    counters.rx_below_threshold += 1;
-                    continue;
-                }
-                let k = r as usize * 2 + ci;
-                if self.stamp[k] != epoch {
-                    self.stamp[k] = epoch;
-                    self.best[k] = f64::NEG_INFINITY;
-                    self.second[k] = f64::NEG_INFINITY;
-                    self.count[k] = 0;
-                    self.touched.push(k as u32);
-                }
-                self.count[k] += 1;
-                if p > self.best[k] {
-                    self.second[k] = self.best[k];
-                    self.best[k] = p;
-                    self.best_tx[k] = ti as u32;
-                } else if p > self.second[k] {
-                    self.second[k] = p;
+                for &ti in &txs_here {
+                    let tx = &transmissions[ti as usize];
+                    let mean = self.mean_cached(world, tx.sender, r);
+                    if mean < mean_floor {
+                        // Provably below threshold for any fading draw;
+                        // tallied by the closed-form reconstruction below.
+                        continue;
+                    }
+                    let p = mean
+                        + world
+                            .fading
+                            .gain(world.fading_seed, tx.sender, r, slot)
+                            .get();
+                    if p < threshold {
+                        continue;
+                    }
+                    detected += 1;
+                    let k = r as usize * 2 + Self::codec_index(tx.codec());
+                    if self.stamp[k] != epoch {
+                        self.stamp[k] = epoch;
+                        self.best[k] = f64::NEG_INFINITY;
+                        self.second[k] = f64::NEG_INFINITY;
+                        self.count[k] = 0;
+                        self.touched.push(k as u32);
+                    }
+                    self.count[k] += 1;
+                    if p > self.best[k] {
+                        self.second[k] = self.best[k];
+                        self.best[k] = p;
+                        self.best_tx[k] = ti;
+                    } else if p > self.second[k] {
+                        self.second[k] = p;
+                    }
                 }
             }
+            self.cell_txs[cell] = txs_here;
         }
+
+        // Exact counter reconstruction: the reference walks every
+        // (transmission, non-transmitting receiver) pair and counts it
+        // either as detected (rx_ok + rx_collision below) or as below
+        // threshold — so the latter is the complement.
+        let receivers = world.n() as u64 - distinct_senders;
+        counters.rx_below_threshold += transmissions.len() as u64 * receivers - detected;
 
         // Deterministic delivery order regardless of tx iteration
         // pattern: sort touched keys.
@@ -324,6 +553,54 @@ mod tests {
                 age: 0,
             },
         }
+    }
+
+    /// Drive the fast and reference media through the same slot and
+    /// assert identical decode pairs and counters.
+    fn assert_media_agree(w: &World, fast: &mut FastMedium, slot: u64, txs: &[ProximitySignal]) {
+        let ch = w.reference_channel();
+        let reference = Medium::default();
+        let receivers: Vec<u32> = (0..w.n() as u32).collect();
+        let transmissions: Vec<Transmission> = txs.iter().map(|&s| Transmission::new(s)).collect();
+
+        let mut ref_counters = Counters::new();
+        let ref_reports = reference.resolve(
+            &ch,
+            Slot(slot),
+            &transmissions,
+            &receivers,
+            &mut ref_counters,
+        );
+        let mut ref_pairs: Vec<(u32, u32)> = Vec::new();
+        for (r, report) in receivers.iter().zip(&ref_reports) {
+            for sig in &report.decoded {
+                ref_pairs.push((*r, sig.sender));
+            }
+        }
+        ref_pairs.sort();
+
+        let mut fast_counters = Counters::new();
+        let mut fast_pairs: Vec<(u32, u32)> = Vec::new();
+        fast.resolve(w, Slot(slot), txs, &mut fast_counters, |r, sig, p| {
+            assert!(p >= w.threshold_dbm());
+            fast_pairs.push((r, sig.sender));
+        });
+        fast_pairs.sort();
+
+        assert_eq!(fast_pairs, ref_pairs, "decode pairs, slot {slot}");
+        assert_eq!(
+            fast_counters.rx_ok, ref_counters.rx_ok,
+            "rx_ok, slot {slot}"
+        );
+        assert_eq!(
+            fast_counters.rx_collision, ref_counters.rx_collision,
+            "rx_collision, slot {slot}"
+        );
+        assert_eq!(
+            fast_counters.rx_below_threshold, ref_counters.rx_below_threshold,
+            "rx_below_threshold, slot {slot}"
+        );
+        assert_eq!(fast_counters.total_tx(), ref_counters.total_tx());
     }
 
     #[test]
@@ -386,6 +663,27 @@ mod tests {
     }
 
     #[test]
+    fn audible_candidates_cover_every_possible_receiver() {
+        // Anything the grid prunes must have a mean below the provable
+        // detectability floor — the exactness contract of the index.
+        let w = World::new(&small_cfg(40, 9));
+        let floor = w.threshold_dbm() - w.fade_headroom_db();
+        for a in 0..40u32 {
+            let cands = w.audible_candidates(a);
+            assert!(!cands.contains(&a));
+            assert!(cands.windows(2).all(|p| p[0] < p[1]), "sorted, unique");
+            for b in 0..40u32 {
+                if b != a && !cands.contains(&b) {
+                    assert!(
+                        w.mean_rx_dbm(a, b) < floor,
+                        "pruned pair {a}->{b} is not provably inaudible"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn table1_area_is_fully_connected_without_shadowing() {
         // 89 m nominal range in a 100 m × 100 m area: the ideal-channel
         // proximity graph is (almost surely) connected and dense.
@@ -398,42 +696,72 @@ mod tests {
 
     #[test]
     fn fast_medium_agrees_with_reference_medium() {
-        // Same transmissions, same slot: identical decode decisions.
-        let cfg = small_cfg(30, 11); // includes shadowing + fading
+        // Same transmissions, same slot: identical decode decisions and
+        // identical counters (Table-I channel: shadowing + fading).
+        let cfg = small_cfg(30, 11);
         let w = World::new(&cfg);
-        let ch = w.reference_channel();
-        let reference = Medium::default();
         let mut fast = FastMedium::new(30);
-        let receivers: Vec<u32> = (0..30).collect();
-
         for slot in [0u64, 3, 21, 40, 77] {
-            let txs: Vec<ProximitySignal> =
-                vec![fire(slot as u32 % 30), fire((slot as u32 + 7) % 30), fire((slot as u32 + 19) % 30)];
-            let transmissions: Vec<Transmission> =
-                txs.iter().map(|&s| Transmission::new(s)).collect();
+            let txs = vec![
+                fire(slot as u32 % 30),
+                fire((slot as u32 + 7) % 30),
+                fire((slot as u32 + 19) % 30),
+            ];
+            assert_media_agree(&w, &mut fast, slot, &txs);
+        }
+    }
 
-            let mut ref_counters = Counters::new();
-            let ref_reports =
-                reference.resolve(&ch, Slot(slot), &transmissions, &receivers, &mut ref_counters);
-            let mut ref_pairs: Vec<(u32, u32)> = Vec::new();
-            for (r, report) in receivers.iter().zip(&ref_reports) {
-                for sig in &report.decoded {
-                    ref_pairs.push((*r, sig.sender));
-                }
+    #[test]
+    fn fast_medium_agrees_in_sparse_arena_with_real_pruning() {
+        // A 2 km arena under the ideal channel: the audibility radius
+        // (89 m) is far below the diagonal, so the grid actually prunes
+        // — and the decode reports must still be bit-identical.
+        let mut cfg = small_cfg(60, 23).ideal_channel();
+        cfg.sim.area_width = Meters(2000.0);
+        cfg.sim.area_height = Meters(2000.0);
+        let w = World::new(&cfg);
+        assert!(
+            w.spatial_grid().cols() >= 20,
+            "expected a fine grid, got {}x{}",
+            w.spatial_grid().cols(),
+            w.spatial_grid().rows()
+        );
+        let mut fast = FastMedium::new(60);
+        for slot in [0u64, 5, 9] {
+            let txs: Vec<ProximitySignal> = (0..6)
+                .map(|k| fire((slot as u32 * 11 + k * 13) % 60))
+                .collect();
+            assert_media_agree(&w, &mut fast, slot, &txs);
+        }
+    }
+
+    #[test]
+    fn fast_medium_tracks_mobility_rebucketing() {
+        let mut cfg = small_cfg(40, 31).ideal_channel();
+        cfg.sim.area_width = Meters(1000.0);
+        cfg.sim.area_height = Meters(1000.0);
+        let mut w = World::new(&cfg);
+        let mut fast = FastMedium::new(40);
+        assert_media_agree(&w, &mut fast, 0, &[fire(1), fire(17), fire(33)]);
+
+        // Shift everyone: the medium must re-bucket (via version) and
+        // still agree with a reference channel over the moved positions.
+        let moved: Vec<Position> = w
+            .deployment()
+            .positions()
+            .iter()
+            .map(|p| Position::new((p.x + 400.0).min(1000.0), (p.y * 0.5).max(0.0)))
+            .collect();
+        let before = w.version();
+        w.update_positions(&moved);
+        assert_eq!(w.version(), before + 1);
+        assert_media_agree(&w, &mut fast, 1, &[fire(1), fire(17), fire(33)]);
+        // The lazily-rebuilt graph reflects the new geometry too.
+        let g = w.proximity_graph();
+        for a in 0..40u32 {
+            for b in (a + 1)..40u32 {
+                assert_eq!(g.has_edge(a, b), w.mean_rx_dbm(a, b) >= w.threshold_dbm());
             }
-            ref_pairs.sort();
-
-            let mut fast_counters = Counters::new();
-            let mut fast_pairs: Vec<(u32, u32)> = Vec::new();
-            fast.resolve(&w, Slot(slot), &txs, &mut fast_counters, |r, sig, p| {
-                assert!(p >= w.threshold_dbm());
-                fast_pairs.push((r, sig.sender));
-            });
-            fast_pairs.sort();
-
-            assert_eq!(fast_pairs, ref_pairs, "slot {slot}");
-            assert_eq!(fast_counters.rx_ok, ref_counters.rx_ok, "slot {slot}");
-            assert_eq!(fast_counters.total_tx(), ref_counters.total_tx());
         }
     }
 

@@ -6,6 +6,7 @@ use ffd2d_core::discovery::NeighborTable;
 use ffd2d_core::ranking::BrightnessRanking;
 use ffd2d_core::reference::build_spanning_tree;
 use ffd2d_graph::mst::kruskal_max_st;
+use ffd2d_graph::spatial::SpatialGrid;
 use ffd2d_graph::weight::W;
 use ffd2d_graph::WeightedGraph;
 use ffd2d_phy::codec::ServiceClass;
@@ -125,6 +126,93 @@ proptest! {
                 Some(j) => prop_assert_eq!(r.rank(j), rank + 1),
                 None => prop_assert_eq!(rank, vals.len() - 1),
             }
+        }
+    }
+
+    /// The spatial grid's disc query returns exactly the brute-force
+    /// audible set (inclusive boundary), for arbitrary positions, query
+    /// centres and radii.
+    #[test]
+    fn spatial_grid_matches_brute_force(
+        points in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..80),
+        cell in 3.0f64..60.0,
+        qx in 0.0f64..100.0,
+        qy in 0.0f64..100.0,
+        r in 0.0f64..150.0,
+    ) {
+        let grid = SpatialGrid::new(100.0, 100.0, cell, &points);
+        let got = grid.within_vec(qx, qy, r);
+        let expected: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y))| {
+                let (dx, dy) = (x - qx, y - qy);
+                dx * dx + dy * dy <= r * r
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Quantized placements: every point sits exactly on a cell corner
+    /// (the boundary-ownership edge case) and duplicates are common
+    /// (co-located devices). Queries centred on lattice points with
+    /// radii that are exact multiples of the cell size hit the boundary
+    /// `d == r` with equality, which must be *inclusive*.
+    #[test]
+    fn spatial_grid_handles_boundaries_and_colocated(
+        lattice in proptest::collection::vec((0u32..11, 0u32..11), 1..60),
+        qcell in (0u32..11, 0u32..11),
+        rcells in 0u32..12,
+        cell in 1.0f64..25.0,
+    ) {
+        let points: Vec<(f64, f64)> = lattice
+            .iter()
+            .map(|&(cx, cy)| (cx as f64 * cell, cy as f64 * cell))
+            .collect();
+        let (w, h) = (10.0 * cell, 10.0 * cell);
+        let grid = SpatialGrid::new(w, h, cell, &points);
+        let (qx, qy) = (qcell.0 as f64 * cell, qcell.1 as f64 * cell);
+        let r = rcells as f64 * cell;
+        let got = grid.within_vec(qx, qy, r);
+        let expected: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y))| {
+                let (dx, dy) = (x - qx, y - qy);
+                dx * dx + dy * dy <= r * r
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(&got, &expected);
+        // Co-located points must all be reported together: any reported
+        // point drags every duplicate of it along.
+        for &id in &got {
+            let p = points[id as usize];
+            for (j, &q) in points.iter().enumerate() {
+                if q == p {
+                    prop_assert!(got.contains(&(j as u32)), "duplicate {j} missing");
+                }
+            }
+        }
+    }
+
+    /// Re-bucketing after movement answers queries identically to a
+    /// freshly-built grid over the moved points.
+    #[test]
+    fn spatial_grid_rebucket_equals_fresh(
+        points in proptest::collection::vec((0.0f64..50.0, 0.0f64..50.0), 1..40),
+        moved in proptest::collection::vec((0.0f64..50.0, 0.0f64..50.0), 1..40),
+        r in 0.0f64..80.0,
+    ) {
+        let n = points.len().min(moved.len());
+        let before = &points[..n];
+        let after = &moved[..n];
+        let mut grid = SpatialGrid::new(50.0, 50.0, 7.0, before);
+        grid.rebucket(after);
+        let fresh = SpatialGrid::new(50.0, 50.0, 7.0, after);
+        for &(qx, qy) in after {
+            prop_assert_eq!(grid.within_vec(qx, qy, r), fresh.within_vec(qx, qy, r));
         }
     }
 }

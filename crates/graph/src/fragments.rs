@@ -30,6 +30,9 @@ pub struct FragmentForest {
     n: usize,
 }
 
+// Referenced only by the `#[serde(default = "empty_uf")]` attribute,
+// which the vendored inert derive does not expand.
+#[allow(dead_code)]
 fn empty_uf() -> UnionFind {
     UnionFind::new(0)
 }

@@ -21,6 +21,10 @@
 //! * [`fragments`] — GHS-style fragment bookkeeping used by the
 //!   distributed spanning-tree protocol in `ffd2d-core`: fragment
 //!   membership, heads, best-outgoing-edge queries and merge operations.
+//! * [`spatial`] — uniform spatial-grid neighbor index: O(n) bucketing
+//!   of device positions into audibility-radius cells, so the collision
+//!   medium and proximity-graph construction query candidate neighbours
+//!   in O(occupancy) instead of scanning a dense `n × n` matrix.
 //! * [`tree`] — rooted-tree utilities (parent arrays, BFS orders,
 //!   depths, spanning-tree validation).
 //! * [`connectivity`] — connected components.
@@ -38,6 +42,7 @@ pub mod adjacency;
 pub mod connectivity;
 pub mod fragments;
 pub mod mst;
+pub mod spatial;
 pub mod tree;
 pub mod unionfind;
 pub mod weight;
@@ -46,6 +51,7 @@ pub use adjacency::{Edge, WeightedGraph};
 pub use connectivity::components;
 pub use fragments::FragmentForest;
 pub use mst::{boruvka_max_st, kruskal_max_st, prim_max_st, SpanningForest};
+pub use spatial::SpatialGrid;
 pub use tree::RootedTree;
 pub use unionfind::UnionFind;
 pub use weight::W;

@@ -4,14 +4,15 @@
 //! (node-count sweep × Monte-Carlo repetitions × two protocols). Each
 //! trial owns its entire world (deployment, channel, protocol state), so
 //! the workload is embarrassingly parallel — the canonical data-parallel
-//! shape of the HPC guides, implemented here with the sanctioned
-//! `crossbeam` + `parking_lot` toolkit:
+//! shape of the HPC guides, implemented entirely on `std`:
 //!
 //! * [`pool`] — [`pool::parallel_map`]: an order-preserving parallel map
-//!   over a task list using crossbeam scoped threads and an atomic
+//!   over a task list using `std::thread::scope` and an atomic
 //!   work-stealing cursor. No task communicates with any other; results
 //!   land in their own slots, so the output is identical to the
-//!   sequential map regardless of thread count.
+//!   sequential map regardless of thread count
+//!   ([`pool::parallel_map_with_workers`] pins the count for the
+//!   determinism suite).
 //! * [`sweep`] — the experiment-shaped layer: a parameter grid × trial
 //!   count, each cell reduced with `ffd2d-metrics`-style mergeable
 //!   accumulators, with deterministic per-trial seeds derived from
@@ -24,5 +25,7 @@
 pub mod pool;
 pub mod sweep;
 
-pub use pool::{available_workers, parallel_map};
-pub use sweep::{run_sweep, run_trials, SweepConfig, SweepResult, TrialCtx};
+pub use pool::{available_workers, parallel_map, parallel_map_with_workers};
+pub use sweep::{
+    run_sweep, run_trials, run_trials_with_workers, SweepConfig, SweepResult, TrialCtx,
+};

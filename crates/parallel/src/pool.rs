@@ -7,10 +7,16 @@
 //! large node counts take far longer than small ones, so static
 //! chunking would idle half the pool), and each result is written to
 //! its own pre-allocated slot, so no ordering coordination is needed.
+//!
+//! Built entirely on `std` (`std::thread::scope` + `std::sync::Mutex`):
+//! the workspace carries no external concurrency dependencies.
+//!
+//! [`parallel_map_with_workers`] pins the worker count explicitly; the
+//! determinism suite uses it to prove results are bit-identical across
+//! pool sizes.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Number of worker threads to use: all available parallelism, capped
 /// so tiny task lists do not spawn idle threads.
@@ -38,11 +44,27 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_with_workers(inputs, None, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (`None` = automatic).
+///
+/// The result is a pure function of `inputs` and `f` — never of the
+/// worker count — because each slot is written exactly once and slots
+/// are drained in input order.
+pub fn parallel_map_with_workers<T, R, F>(inputs: &[T], workers: Option<usize>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let n = inputs.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = available_workers(n);
+    let workers = workers
+        .unwrap_or_else(|| available_workers(n))
+        .clamp(1, n.max(1));
     if workers == 1 {
         return inputs.iter().map(|t| f(t)).collect();
     }
@@ -52,23 +74,26 @@ where
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let r = f(&inputs[i]);
-                *slots[i].lock() = Some(r);
+                *slots[i].lock().expect("slot mutex poisoned") = Some(r);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("slot missing result"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot mutex poisoned")
+                .expect("slot missing result")
+        })
         .collect()
 }
 
@@ -131,6 +156,17 @@ mod tests {
         assert_eq!(available_workers(0), 1);
         assert!(available_workers(1) >= 1);
         assert!(available_workers(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn explicit_worker_counts_agree() {
+        let inputs: Vec<u64> = (0..257).collect();
+        let baseline: Vec<u64> = inputs.iter().map(|&x| x.wrapping_mul(x) ^ 17).collect();
+        for workers in [1usize, 2, 3, 8, 64] {
+            let out =
+                parallel_map_with_workers(&inputs, Some(workers), |&x| x.wrapping_mul(x) ^ 17);
+            assert_eq!(out, baseline, "workers={workers}");
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ use ffd2d_metrics::Summary;
 use ffd2d_sim::rng::SplitMix64;
 use serde::{Deserialize, Serialize};
 
-use crate::pool::parallel_map;
+use crate::pool::parallel_map_with_workers;
 
 /// Sweep-wide configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -77,11 +77,30 @@ where
     R: Send,
     F: Fn(&P, TrialCtx) -> R + Sync,
 {
+    run_trials_with_workers(params, cfg, None, f)
+}
+
+/// [`run_trials`] with an explicit worker count (`None` = automatic).
+///
+/// Exists so the determinism suite can assert the bit-identical-output
+/// guarantee directly: the same `(params, cfg, f)` must produce the
+/// same grouped results on any pool size.
+pub fn run_trials_with_workers<P, R, F>(
+    params: &[P],
+    cfg: &SweepConfig,
+    workers: Option<usize>,
+    f: F,
+) -> Vec<Vec<R>>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, TrialCtx) -> R + Sync,
+{
     assert!(cfg.trials > 0, "need at least one trial");
     let cells: Vec<(usize, u32)> = (0..params.len())
         .flat_map(|p| (0..cfg.trials).map(move |t| (p, t)))
         .collect();
-    let flat = parallel_map(&cells, |&(p, t)| {
+    let flat = parallel_map_with_workers(&cells, workers, |&(p, t)| {
         let ctx = TrialCtx::new(cfg, p, t);
         f(&params[p], ctx)
     });

@@ -83,6 +83,37 @@ impl ChannelConfig {
     pub fn nominal_range(&self) -> Meters {
         self.pathloss.max_range(self.budget())
     }
+
+    /// Worst-case fading headroom in dB: the largest gain the fading
+    /// model can ever produce ([`FadingModel::max_gain_db`]).
+    pub fn fade_headroom_db(&self) -> f64 {
+        self.fading.max_gain_db()
+    }
+
+    /// Worst-case shadowing boost in dB: σ times the largest magnitude
+    /// the shadowing generator can emit.
+    pub fn max_shadowing_boost_db(&self) -> f64 {
+        self.shadowing_sigma_db * crate::shadowing::max_abs_standard_normal()
+    }
+
+    /// The audibility radius implied by the noise floor: the maximum
+    /// distance at which *any* shadowing/fading realisation can lift the
+    /// received power to the detection threshold. Pairs farther apart
+    /// are provably inaudible for every seed — this is the spatial-grid
+    /// pruning radius, and the reason grid pruning is bit-identical to a
+    /// dense scan rather than a truncation.
+    pub fn max_audible_range(&self) -> Meters {
+        let slack = self.max_shadowing_boost_db() + self.fade_headroom_db();
+        self.pathloss.max_range(Db(self.budget().0 + slack))
+    }
+
+    /// The maximum distance at which the *long-term mean* power (path
+    /// loss + shadowing, fading averaged out) can reach the detection
+    /// threshold — the candidate radius for §IV proximity-graph edges.
+    pub fn max_mean_link_range(&self) -> Meters {
+        self.pathloss
+            .max_range(Db(self.budget().0 + self.max_shadowing_boost_db()))
+    }
 }
 
 /// One sampled reception.
@@ -274,6 +305,33 @@ mod tests {
         let c = Channel::new(&dep, ChannelConfig::default(), 6).rx_power(0, 1, Slot(3));
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn worst_case_ranges_dominate_every_realisation() {
+        // Ideal channel: no slack, the audible range IS the nominal one.
+        let ideal = ChannelConfig::ideal();
+        assert_eq!(ideal.fade_headroom_db(), 0.0);
+        assert_eq!(ideal.max_shadowing_boost_db(), 0.0);
+        assert_eq!(ideal.max_audible_range().0, ideal.nominal_range().0);
+        assert_eq!(ideal.max_mean_link_range().0, ideal.nominal_range().0);
+
+        // Table-I channel: every sampled power at a distance beyond the
+        // worst-case audible range must sit below the threshold.
+        let cfg = ChannelConfig::default();
+        let r = cfg.max_audible_range().0;
+        assert!(r > cfg.nominal_range().0);
+        let dep = two_devices(r + 1.0);
+        for seed in 0..50u64 {
+            let ch = Channel::new(&dep, cfg.clone(), seed);
+            for s in 0..40 {
+                assert!(
+                    ch.rx_power(0, 1, Slot(s)) < cfg.detection_threshold,
+                    "audible beyond the provable radius (seed {seed})"
+                );
+            }
+            assert!(ch.mean_rx_power(0, 1) < cfg.detection_threshold);
+        }
     }
 
     #[test]

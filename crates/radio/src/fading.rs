@@ -18,7 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::shadowing::{standard_normal, to_unit_open};
+use crate::shadowing::{max_abs_standard_normal, standard_normal, to_unit_open};
 use crate::units::Db;
 use ffd2d_sim::deployment::DeviceId;
 use ffd2d_sim::rng::SplitMix64;
@@ -56,9 +56,10 @@ impl FadingModel {
     fn block(&self, slot: Slot) -> u64 {
         match *self {
             FadingModel::None => 0,
-            FadingModel::Rayleigh { coherence_slots } | FadingModel::Rician { coherence_slots, .. } => {
-                slot.0 / coherence_slots.max(1)
-            }
+            FadingModel::Rayleigh { coherence_slots }
+            | FadingModel::Rician {
+                coherence_slots, ..
+            } => slot.0 / coherence_slots.max(1),
         }
     }
 
@@ -87,6 +88,34 @@ impl FadingModel {
                 let h_im = im * (scatter / 2.0).sqrt();
                 let p = (h_re * h_re + h_im * h_im).max(1e-12);
                 Db(10.0 * p.log10())
+            }
+        }
+    }
+
+    /// Provable upper bound on [`FadingModel::gain`] in dB, over all
+    /// seeds, links and slots.
+    ///
+    /// * `None` never deviates from 0 dB.
+    /// * `Rayleigh` draws `−ln u` with `u ≥ 2⁻⁵³` (see
+    ///   [`crate::shadowing::to_unit_open`]), so the power gain is at
+    ///   most `53·ln 2` linear ⇒ `10·log10(53·ln 2) ≈ 15.65` dB.
+    /// * `Rician` is bounded by setting both Gaussian components to the
+    ///   extreme of [`max_abs_standard_normal`].
+    ///
+    /// Unlike a statistical fade margin, candidate pruning with this
+    /// bound is *exact*: a link whose mean power sits below
+    /// `threshold − max_gain_db()` can never be detected, for any seed.
+    pub fn max_gain_db(&self) -> f64 {
+        match *self {
+            FadingModel::None => 0.0,
+            FadingModel::Rayleigh { .. } => 10.0 * (53.0 * core::f64::consts::LN_2).log10() + 1e-9,
+            FadingModel::Rician { k, .. } => {
+                let nmax = max_abs_standard_normal();
+                let scatter = 1.0 / (k + 1.0);
+                let los = (k / (k + 1.0)).sqrt();
+                let amp = (scatter / 2.0).sqrt() * nmax;
+                let p = (los + amp) * (los + amp) + amp * amp;
+                10.0 * p.log10() + 1e-9
             }
         }
     }
@@ -199,5 +228,33 @@ mod tests {
     fn different_links_decorrelated() {
         let f = FadingModel::umi_nlos();
         assert_ne!(f.gain(1, 0, 1, Slot(0)), f.gain(1, 0, 2, Slot(0)));
+    }
+
+    #[test]
+    fn max_gain_bounds_every_draw() {
+        let models = [
+            FadingModel::None,
+            FadingModel::Rayleigh { coherence_slots: 1 },
+            FadingModel::Rician {
+                k: 3.0,
+                coherence_slots: 1,
+            },
+            FadingModel::Rician {
+                k: 0.1,
+                coherence_slots: 1,
+            },
+        ];
+        for f in models {
+            let bound = f.max_gain_db();
+            for s in 0..30_000u64 {
+                let g = f.gain(99, 0, 1, Slot(s)).0;
+                assert!(g <= bound, "{f:?}: gain {g} exceeds bound {bound}");
+            }
+        }
+        // The Rayleigh bound is exactly the worst-case draw, to slack.
+        let rayleigh = FadingModel::Rayleigh { coherence_slots: 1 };
+        let analytic = 10.0 * (53.0 * core::f64::consts::LN_2).log10();
+        assert!((rayleigh.max_gain_db() - analytic).abs() < 1e-6);
+        assert_eq!(FadingModel::None.max_gain_db(), 0.0);
     }
 }

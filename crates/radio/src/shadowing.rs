@@ -48,6 +48,15 @@ impl ShadowingField {
         self.sigma_db
     }
 
+    /// Provable upper bound on `|sample(a, b)|` in dB: σ times the
+    /// largest magnitude [`standard_normal`] can emit. Used to derive
+    /// worst-case audibility radii for spatial pruning — a pair farther
+    /// apart than the radius implied by this bound can *never* close a
+    /// link, for any seed.
+    pub fn max_abs_db(&self) -> f64 {
+        self.sigma_db * max_abs_standard_normal()
+    }
+
     /// The shadowing term `x` (eq. (9)) for the link `{a, b}`, in dB.
     ///
     /// Symmetric: `sample(a, b) == sample(b, a)`.
@@ -59,6 +68,19 @@ impl ShadowingField {
         let key = ((lo as u64) << 32) | hi as u64;
         Db(self.sigma_db * standard_normal(self.seed ^ 0x5AD0_11E5, key))
     }
+}
+
+/// Provable upper bound on `|standard_normal(..)|` over *all* inputs.
+///
+/// [`to_unit_open`] never returns below `2⁻⁵³`, so the Box–Muller radius
+/// `sqrt(−2·ln a)` is at most `sqrt(2·53·ln 2) ≈ 8.5716`, and
+/// `|cos| ≤ 1`. The tiny additive slack absorbs the (sub-ulp) rounding
+/// of the square root. Unlike a statistical truncation margin, distances
+/// pruned with this bound are *exactly* inaudible — spatial pruning
+/// built on it is bit-identical to the dense reference, not merely
+/// approximately so.
+pub fn max_abs_standard_normal() -> f64 {
+    (2.0 * 53.0 * core::f64::consts::LN_2).sqrt() + 1e-9
 }
 
 /// A deterministic standard-normal draw keyed by `(seed, key)`.
@@ -149,6 +171,34 @@ mod tests {
     fn unit_open_mapping_bounds() {
         assert!(to_unit_open(0) > 0.0);
         assert!(to_unit_open(u64::MAX) < 1.0);
+        // The minimum of the open-interval mapping is exactly 2⁻⁵³ —
+        // the premise of the max_abs_standard_normal bound.
+        assert_eq!(to_unit_open(0), 2f64.powi(-53));
+    }
+
+    #[test]
+    fn normal_bound_holds_empirically_and_is_tightish() {
+        let bound = max_abs_standard_normal();
+        assert!(bound < 8.58, "bound {bound} should be ~8.5716");
+        for key in 0..200_000u64 {
+            let v = standard_normal(0xABCD, key);
+            assert!(v.abs() <= bound, "draw {v} exceeds bound {bound}");
+        }
+        // Worst-case input: u0 = 0 maximises the Box–Muller radius.
+        let extreme = (-2.0 * to_unit_open(0).ln()).sqrt();
+        assert!(extreme <= bound && extreme > bound - 1e-6);
+    }
+
+    #[test]
+    fn max_abs_db_scales_with_sigma() {
+        let f = ShadowingField::new(3, 10.0);
+        assert!((f.max_abs_db() - 10.0 * max_abs_standard_normal()).abs() < 1e-12);
+        assert_eq!(ShadowingField::disabled().max_abs_db(), 0.0);
+        for a in 0..40u32 {
+            for b in (a + 1)..40u32 {
+                assert!(f.sample(a, b).0.abs() <= f.max_abs_db());
+            }
+        }
     }
 
     #[test]

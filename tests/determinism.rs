@@ -69,6 +69,35 @@ fn sweep_reports_are_bitwise_reproducible() {
 }
 
 #[test]
+fn sweep_output_is_invariant_under_worker_count() {
+    // The parallel harness hands each (param, trial) cell a seed that is
+    // a pure function of (master seed, cell), so the grouped output —
+    // full protocol runs over the grid-backed medium — must be
+    // bit-identical whether the pool has 1, 2 or 8 workers.
+    use ffd2d::parallel::{run_trials_with_workers, SweepConfig};
+
+    let params = [10usize, 25];
+    let cfg = SweepConfig {
+        master_seed: 0xD2D_CAFE,
+        trials: 3,
+    };
+    let trial = |&n: &usize, ctx: ffd2d::parallel::TrialCtx| {
+        let scenario = ScenarioConfig::table1(n)
+            .seeded(ctx.seed)
+            .with_max_slots(SlotDuration(60_000));
+        StProtocol::run(&scenario)
+    };
+    let single = run_trials_with_workers(&params, &cfg, Some(1), trial);
+    for workers in [2usize, 8] {
+        let parallel = run_trials_with_workers(&params, &cfg, Some(workers), trial);
+        assert_eq!(
+            single, parallel,
+            "sweep output changed with {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn protocol_outcome_does_not_depend_on_unrelated_streams() {
     // Consuming the Experiment stream elsewhere must not perturb a
     // trial: streams are independent by construction.

@@ -1,0 +1,256 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the API subset the
+//! `ffd2d-bench` targets use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with `sample_size`/`bench_with_input`/
+//! `finish`, [`BenchmarkId`], [`black_box`], and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! No statistics beyond mean-of-samples, no HTML reports, no baseline
+//! storage — each benchmark prints `name  time: <mean> (±spread)` to
+//! stdout. CLI: a bare argument filters benchmarks by substring,
+//! `--quick` shortens the measurement window, harness flags cargo
+//! passes (`--bench`, etc.) are ignored.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut filter = None;
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { filter, quick }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().map_or(true, |f| id.contains(f))
+    }
+
+    fn measure(&self, id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.matches(id) {
+            return;
+        }
+        let budget = if self.quick {
+            Duration::from_millis(40)
+        } else {
+            Duration::from_millis(400)
+        };
+        let samples = sample_size.clamp(3, 20);
+        let mut bencher = Bencher {
+            budget: budget / samples as u32,
+            samples: Vec::with_capacity(samples),
+        };
+        for _ in 0..samples {
+            f(&mut bencher);
+        }
+        let (mean, spread) = bencher.stats();
+        println!("{id:<48} time: {} (±{})", fmt_ns(mean), fmt_ns(spread));
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.measure(id, 10, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sampling
+/// configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.measure(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .measure(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function_name` at `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Timing driver passed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, running it repeatedly until this sample's budget
+    /// is spent, and record mean nanoseconds per iteration.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One calibration call so a slow routine still yields a sample.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed();
+        let mut iters = 1u64;
+        let mut total = first;
+        while total < self.budget {
+            let remaining = self.budget - total;
+            let batch = (remaining.as_nanos() / first.as_nanos().max(1)).clamp(1, 10_000) as u64;
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.samples.push(total.as_nanos() as f64 / iters as f64);
+    }
+
+    fn stats(&self) -> (f64, f64) {
+        let n = self.samples.len().max(1) as f64;
+        let mean = self.samples.iter().sum::<f64>() / n;
+        let spread = self
+            .samples
+            .iter()
+            .map(|s| (s - mean).abs())
+            .fold(0.0f64, f64::max);
+        (mean, spread)
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_samples() {
+        let mut b = Bencher {
+            budget: Duration::from_millis(2),
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        let (mean, _) = b.stats();
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn id_formats_function_and_parameter() {
+        let id = BenchmarkId::new("kruskal", 128);
+        assert_eq!(id.id, "kruskal/128");
+    }
+}

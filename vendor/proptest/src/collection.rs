@@ -1,0 +1,149 @@
+//! Collection strategies.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Size specification for collection strategies: an exact length or a
+/// length range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, runner: &mut TestRunner) -> usize {
+        if self.hi <= self.lo + 1 {
+            self.lo
+        } else {
+            self.lo + runner.next_usize(self.hi - self.lo)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `element` and a length
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+        let len = self.size.pick(runner);
+        (0..len).map(|_| self.element.new_value(runner)).collect()
+    }
+}
+
+/// Strategy for `HashSet<T>`: draws distinct elements until a length
+/// from `size` is reached.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> HashSet<S::Value> {
+        let target = self.size.pick(runner);
+        let mut out = HashSet::with_capacity(target);
+        // Cap draws so a narrow element domain cannot spin forever; a
+        // smaller-than-requested set is still a valid test input.
+        let max_draws = 100 * (target + 1);
+        let mut draws = 0;
+        while out.len() < target && draws < max_draws {
+            out.insert(self.element.new_value(runner));
+            draws += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_length_within_range() {
+        let mut r = TestRunner::new(5);
+        let s = vec(0u32..10, 2..7);
+        for _ in 0..200 {
+            let v = s.new_value(&mut r);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn vec_exact_length() {
+        let mut r = TestRunner::new(6);
+        let s = vec(0u32..10, 4usize);
+        assert_eq!(s.new_value(&mut r).len(), 4);
+    }
+
+    #[test]
+    fn hash_set_is_distinct_and_sized() {
+        let mut r = TestRunner::new(7);
+        let s = hash_set(crate::strategy::any::<u64>(), 3..20);
+        for _ in 0..50 {
+            let set = s.new_value(&mut r);
+            assert!((3..20).contains(&set.len()));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and
+//! result types but never serializes them through an external format
+//! (there is no `serde_json` in the dependency tree), so the derives
+//! only need to *exist* and register `#[serde(...)]` as an inert helper
+//! attribute. They expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Inert `Serialize` derive: accepts the input, emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Inert `Deserialize` derive: accepts the input, emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
