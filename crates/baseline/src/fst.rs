@@ -24,6 +24,7 @@ use ffd2d_sim::counters::Counters;
 use ffd2d_sim::deployment::DeviceId;
 use ffd2d_sim::rng::{StreamId, StreamRng};
 use ffd2d_sim::time::{Slot, SlotDuration};
+use ffd2d_trace::{NullSink, ProtoPhase, TraceEvent, TraceSink};
 
 /// Fire transmissions are staggered over this many slots (same value as
 /// the ST engine, so the comparison is apples-to-apples).
@@ -37,13 +38,30 @@ pub struct FstProtocol;
 impl FstProtocol {
     /// Run one trial of the scenario.
     pub fn run(cfg: &ScenarioConfig) -> RunOutcome {
+        Self::run_traced(cfg, &mut NullSink)
+    }
+
+    /// Run one trial, reporting protocol events to `sink`. Tracing is
+    /// strictly observational (no randomness consumed, no state
+    /// touched): a traced run's outcome is bit-identical to an untraced
+    /// one, and a [`NullSink`] compiles the emission sites out.
+    pub fn run_traced<S: TraceSink>(cfg: &ScenarioConfig, sink: &mut S) -> RunOutcome {
         let world = World::new(cfg);
-        Self::run_in(&world)
+        Self::run_in_traced(&world, sink)
     }
 
     /// Run one trial in a pre-built world (paired comparisons share the
     /// world with the ST engine).
     pub fn run_in(world: &World) -> RunOutcome {
+        Self::run_in_traced(world, &mut NullSink)
+    }
+
+    /// [`FstProtocol::run_in`] with protocol-event tracing. The mesh
+    /// baseline has no discovery or merge machinery, so the trace is one
+    /// long `Sync` phase of fire traffic and oscillator adjustments;
+    /// `SlotStats.fragments` stays at `n` (every device is its own
+    /// fragment — nothing ever merges).
+    pub fn run_in_traced<S: TraceSink>(world: &World, sink: &mut S) -> RunOutcome {
         let cfg = world.config();
         let n = world.n();
         let seed = cfg.sim.seed;
@@ -73,12 +91,25 @@ impl FstProtocol {
         let tx_power = cfg.channel.tx_power;
         let tol = 1.0 / cfg.protocol.period_slots as f64 + 1e-12;
         let mut convergence: Option<u64> = None;
+        let mut last_slot = 0u64;
+        let ground_truth_links = if S::ENABLED {
+            2 * world.proximity_graph().m() as u64
+        } else {
+            0
+        };
+        if S::ENABLED {
+            sink.event(&TraceEvent::PhaseEnter {
+                slot: 0,
+                phase: ProtoPhase::Sync,
+            });
+        }
 
         for s in 0..cfg.sim.max_slots.0 {
             let slot = Slot(s);
+            last_slot = s;
             // Tick and stagger natural fires.
-            for i in 0..n {
-                if devices[i].osc.tick() {
+            for (i, dev) in devices.iter_mut().enumerate() {
+                if dev.osc.tick() {
                     let j = rng.gen_range(0..FIRE_JITTER);
                     fire_queue[(s + j) as usize % FIRE_RING].push((i as DeviceId, j as u8));
                 }
@@ -90,30 +121,49 @@ impl FstProtocol {
                     .map(|&(id, age)| ProximitySignal {
                         sender: id,
                         service: devices[id as usize].service,
-                        kind: FrameKind::Fire {
-                            fragment: id,
-                            age,
-                        },
+                        kind: FrameKind::Fire { fragment: id, age },
                     })
                     .collect();
                 let mut absorbed: Vec<(DeviceId, u8)> = Vec::new();
-                medium.resolve(world, slot, &pending, &mut counters, |receiver, sig, rx_dbm| {
-                    if let FrameKind::Fire { fragment, age } = sig.kind {
-                        let dev = &mut devices[receiver as usize];
-                        dev.table.observe_fire(
-                            sig.sender,
-                            Dbm(rx_dbm),
-                            sig.service,
-                            fragment,
-                            slot,
-                            &pathloss,
-                            tx_power,
-                        );
-                        if dev.hear_fire_delayed(sig.sender, &prc, age as u32) {
-                            absorbed.push((receiver, age));
+                medium.resolve_traced(
+                    world,
+                    slot,
+                    &pending,
+                    &mut counters,
+                    &mut *sink,
+                    |receiver, sig, rx_dbm, sink| {
+                        if let FrameKind::Fire { fragment, age } = sig.kind {
+                            let dev = &mut devices[receiver as usize];
+                            dev.table.observe_fire(
+                                sig.sender,
+                                Dbm(rx_dbm),
+                                sig.service,
+                                fragment,
+                                slot,
+                                &pathloss,
+                                tx_power,
+                            );
+                            let before = if S::ENABLED { dev.osc.phase() } else { 0.0 };
+                            let fired = dev.hear_fire_delayed(sig.sender, &prc, age as u32);
+                            if S::ENABLED {
+                                let after = dev.osc.phase();
+                                if after != before || fired {
+                                    sink.event(&TraceEvent::PhaseAdjust {
+                                        slot: slot.0,
+                                        device: receiver,
+                                        sender: sig.sender,
+                                        before,
+                                        after,
+                                        absorbed: fired,
+                                    });
+                                }
+                            }
+                            if fired {
+                                absorbed.push((receiver, age));
+                            }
                         }
-                    }
-                });
+                    },
+                );
                 for (id, age) in absorbed {
                     let j = rng.gen_range(1..FIRE_JITTER);
                     fire_queue[(s + j) as usize % FIRE_RING]
@@ -121,14 +171,39 @@ impl FstProtocol {
                 }
             }
 
+            // Per-slot population summary (tracing only).
+            if S::ENABLED {
+                phases.clear();
+                phases.extend(devices.iter().map(|d| d.osc.phase()));
+                let discovered: u64 = devices.iter().map(|d| d.table.discovered() as u64).sum();
+                sink.event(&TraceEvent::SlotStats {
+                    slot: s,
+                    fragments: n as u32,
+                    phase_spread: phase_spread(&phases),
+                    discovered_links: discovered,
+                    ground_truth_links,
+                });
+            }
+
             if s % SYNC_CHECK_INTERVAL == 0 && n > 0 {
                 phases.clear();
                 phases.extend(devices.iter().map(|d| d.osc.phase()));
                 if phase_spread(&phases) <= tol {
                     convergence = Some(s);
+                    if S::ENABLED {
+                        sink.event(&TraceEvent::Converged { slot: s });
+                    }
                     break;
                 }
             }
+        }
+
+        if S::ENABLED {
+            sink.event(&TraceEvent::RunEnd {
+                slot: last_slot,
+                converged: convergence.is_some(),
+            });
+            sink.finish();
         }
 
         let discovered_links: u64 = devices.iter().map(|d| d.table.discovered() as u64).sum();

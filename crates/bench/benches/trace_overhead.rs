@@ -1,0 +1,107 @@
+//! The zero-cost-off claim, measured.
+//!
+//! `StProtocol::run` monomorphizes against [`NullSink`]
+//! (`ENABLED = false`), so every emission site must compile out: the
+//! paired `untraced` vs. `null_sink` arms below must be within noise of
+//! each other (same shape as the `grid_vs_dense` comparison that locked
+//! the spatial-grid medium). The `counting_sink` arm shows what the
+//! cheapest *enabled* sink costs, and the `medium` group isolates the
+//! hot resolver path where the guard sits in the innermost loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ffd2d_bench::{bench_scenario, bench_world};
+use ffd2d_core::world::FastMedium;
+use ffd2d_core::StProtocol;
+use ffd2d_phy::codec::ServiceClass;
+use ffd2d_phy::frame::{FrameKind, ProximitySignal};
+use ffd2d_sim::counters::Counters;
+use ffd2d_sim::time::{Slot, SlotDuration};
+use ffd2d_trace::{CountingSink, NullSink};
+
+fn bench_protocol_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead/st_run");
+    for &n in &[50usize, 100] {
+        let cfg = bench_scenario(n).with_max_slots(SlotDuration(30_000));
+        group.bench_with_input(BenchmarkId::new("untraced", n), &cfg, |b, cfg| {
+            b.iter(|| black_box(StProtocol::run(cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("null_sink", n), &cfg, |b, cfg| {
+            b.iter(|| black_box(StProtocol::run_traced(cfg, &mut NullSink)))
+        });
+        group.bench_with_input(BenchmarkId::new("counting_sink", n), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut sink = CountingSink::new();
+                black_box(StProtocol::run_traced(cfg, &mut sink))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_medium_resolve(c: &mut Criterion) {
+    let n = 500usize;
+    let world = bench_world(n);
+    let txs: Vec<ProximitySignal> = (0..8u32)
+        .map(|k| ProximitySignal {
+            sender: (k * 61) % n as u32,
+            service: ServiceClass::KEEP_ALIVE,
+            kind: FrameKind::Fire {
+                fragment: k,
+                age: 0,
+            },
+        })
+        .collect();
+    let mut group = c.benchmark_group("trace_overhead/medium");
+    let mut medium = FastMedium::new(n);
+    group.bench_function("untraced", |b| {
+        let mut counters = Counters::new();
+        let mut slot = 0u64;
+        b.iter(|| {
+            slot += 1;
+            medium.resolve(&world, Slot(slot), &txs, &mut counters, |r, s, p| {
+                black_box((r, s.sender, p));
+            });
+        })
+    });
+    group.bench_function("null_sink", |b| {
+        let mut counters = Counters::new();
+        let mut slot = 0u64;
+        b.iter(|| {
+            slot += 1;
+            medium.resolve_traced(
+                &world,
+                Slot(slot),
+                &txs,
+                &mut counters,
+                &mut NullSink,
+                |r, s, p, _| {
+                    black_box((r, s.sender, p));
+                },
+            );
+        })
+    });
+    group.bench_function("counting_sink", |b| {
+        let mut counters = Counters::new();
+        let mut sink = CountingSink::new();
+        let mut slot = 0u64;
+        b.iter(|| {
+            slot += 1;
+            medium.resolve_traced(
+                &world,
+                Slot(slot),
+                &txs,
+                &mut counters,
+                &mut sink,
+                |r, s, p, _| {
+                    black_box((r, s.sender, p));
+                },
+            );
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_run, bench_medium_resolve);
+criterion_main!(benches);

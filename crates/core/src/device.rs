@@ -184,7 +184,10 @@ mod tests {
         assert!(!d.couples_to(2), "non-parent ignored");
         assert!(d.couples_to(1), "parent couples");
         d.hear_fire_delayed(1, &prc, 3);
-        assert!((d.osc.phase() - 0.03).abs() < 1e-12, "adopted parent timing");
+        assert!(
+            (d.osc.phase() - 0.03).abs() < 1e-12,
+            "adopted parent timing"
+        );
 
         d.coupling = CouplingMode::Mesh;
         assert!(d.couples_to(2));

@@ -75,6 +75,7 @@ impl NeighborTable {
     }
 
     /// Record a decoded firing PS.
+    #[allow(clippy::too_many_arguments)]
     pub fn observe_fire(
         &mut self,
         sender: DeviceId,

@@ -48,6 +48,7 @@ use ffd2d_sim::counters::Counters;
 use ffd2d_sim::deployment::DeviceId;
 use ffd2d_sim::rng::{StreamId, StreamRng};
 use ffd2d_sim::time::{Slot, SlotDuration};
+use ffd2d_trace::{Codec, FrameLabel, NullSink, ProtoPhase, RejectReason, TraceEvent, TraceSink};
 
 use crate::device::{CouplingMode, Device};
 use crate::outcome::RunOutcome;
@@ -82,14 +83,28 @@ pub struct StProtocol;
 impl StProtocol {
     /// Run one trial of the scenario.
     pub fn run(cfg: &ScenarioConfig) -> RunOutcome {
+        Self::run_traced(cfg, &mut NullSink)
+    }
+
+    /// Run one trial, reporting protocol events to `sink`. Tracing is
+    /// strictly observational: it consumes no randomness and touches no
+    /// protocol state, so the outcome is bit-identical to an untraced
+    /// run (pinned by the `trace` integration tests), and with
+    /// [`NullSink`] the emission sites compile out entirely.
+    pub fn run_traced<S: TraceSink>(cfg: &ScenarioConfig, sink: &mut S) -> RunOutcome {
         let world = World::new(cfg);
-        Self::run_in(&world)
+        Self::run_in_traced(&world, sink)
     }
 
     /// Run one trial in a pre-built world (lets callers share the world
     /// across protocol variants for paired comparisons).
     pub fn run_in(world: &World) -> RunOutcome {
-        Engine::new(world).run()
+        Self::run_in_traced(world, &mut NullSink)
+    }
+
+    /// [`StProtocol::run_in`] with protocol-event tracing.
+    pub fn run_in_traced<S: TraceSink>(world: &World, sink: &mut S) -> RunOutcome {
+        Engine::new(world, sink).run()
     }
 }
 
@@ -236,8 +251,11 @@ enum Phase {
     Sync,
 }
 
-struct Engine<'w> {
+struct Engine<'w, S: TraceSink> {
     world: &'w World,
+    /// Protocol-event sink; all emission sites are gated on
+    /// `S::ENABLED`, so a [`NullSink`] engine is the untraced engine.
+    sink: &'w mut S,
     devices: Vec<Device>,
     m: Vec<MState>,
     /// Authoritative undirected tree adjacency.
@@ -271,10 +289,12 @@ struct Engine<'w> {
     /// jam their own discovery refresh.
     beacon_offset: Vec<u64>,
     phases_scratch: Vec<f64>,
+    /// Scratch for the per-slot distinct-fragment count (tracing only).
+    frag_scratch: Vec<DeviceId>,
 }
 
-impl<'w> Engine<'w> {
-    fn new(world: &'w World) -> Engine<'w> {
+impl<'w, S: TraceSink> Engine<'w, S> {
+    fn new(world: &'w World, sink: &'w mut S) -> Engine<'w, S> {
         let cfg = world.config();
         let n = world.n();
         let seed = cfg.sim.seed;
@@ -293,6 +313,7 @@ impl<'w> Engine<'w> {
             .collect();
         Engine {
             world,
+            sink,
             devices,
             m: vec![MState::default(); n],
             tree: vec![Vec::new(); n],
@@ -318,7 +339,18 @@ impl<'w> Engine<'w> {
                 (0..n).map(|_| rng.gen_range(0..period)).collect()
             },
             phases_scratch: Vec::new(),
+            frag_scratch: Vec::new(),
         }
+    }
+
+    /// Distinct fragment labels across the population (tracing only).
+    fn fragment_count(&mut self) -> u32 {
+        self.frag_scratch.clear();
+        self.frag_scratch
+            .extend(self.devices.iter().map(|d| d.fragment));
+        self.frag_scratch.sort_unstable();
+        self.frag_scratch.dedup();
+        self.frag_scratch.len() as u32
     }
 
     fn send(&mut self, from: DeviceId, to: DeviceId, msg: Msg) {
@@ -367,9 +399,17 @@ impl<'w> Engine<'w> {
             }
             let heads = self.devices.iter().filter(|d| d.is_head()).count();
             let mut frags: Vec<u32> = self.devices.iter().map(|d| d.fragment).collect();
-            frags.sort(); frags.dedup();
-            eprintln!("round {} end: heads={} frags={:?} commits_total={} mergecmds={} rach2={}",
-                self.round, heads, frags, self.commits_total, self.mergecmds_this_round, self.counters.rach2_tx);
+            frags.sort();
+            frags.dedup();
+            eprintln!(
+                "round {} end: heads={} frags={:?} commits_total={} mergecmds={} rach2={}",
+                self.round,
+                heads,
+                frags,
+                self.commits_total,
+                self.mergecmds_this_round,
+                self.counters.rach2_tx
+            );
         }
         self.round += 1;
         self.mergecmds_this_round = 0;
@@ -379,11 +419,20 @@ impl<'w> Engine<'w> {
         // retries, and the identity flood (depth), plus slack — floored
         // at 1.5 periods so neighbour tables refresh between rounds.
         let d = self.max_depth() + 1;
-        let handshake = (cfg.handshake_window as u64 + HANDSHAKE_TIMEOUT)
-            * (cfg.handshake_retries as u64 + 1);
+        let handshake =
+            (cfg.handshake_window as u64 + HANDSHAKE_TIMEOUT) * (cfg.handshake_retries as u64 + 1);
         let budget = (5 * d + handshake + 8).max(cfg.period_slots as u64 * 3 / 2);
         self.round_end = slot.0 + budget;
         self.round_grace_end = self.round_end.saturating_sub(2 * d + 16);
+        if S::ENABLED {
+            let fragments = self.fragment_count();
+            self.sink.event(&TraceEvent::RoundStart {
+                slot: slot.0,
+                round: self.round,
+                budget,
+                fragments,
+            });
+        }
 
         let round = self.round;
         for i in 0..self.devices.len() {
@@ -420,13 +469,13 @@ impl<'w> Engine<'w> {
     fn aggregate_and_act(&mut self, v: DeviceId, slot: Slot) {
         let frag = self.devices[v as usize].fragment;
         let max_age = FRESHNESS_PERIODS * self.world.config().protocol.period_slots as u64;
-        if let Some((nbr, w)) =
-            self.devices[v as usize]
-                .table
-                .best_outgoing_fresh(frag, slot, max_age)
+        if let Some((nbr, w)) = self.devices[v as usize]
+            .table
+            .best_outgoing_fresh(frag, slot, max_age)
         {
             let better = w > self.m[v as usize].best_w
-                || (w == self.m[v as usize].best_w && (v, nbr) < (self.m[v as usize].best_u, self.m[v as usize].best_v));
+                || (w == self.m[v as usize].best_w
+                    && (v, nbr) < (self.m[v as usize].best_u, self.m[v as usize].best_v));
             if better {
                 let nbr_frag = self.devices[v as usize]
                     .table
@@ -622,6 +671,14 @@ impl<'w> Engine<'w> {
                         && (!own_pending || (mutual && my_frag > req_fragment));
                     if granted {
                         self.m[v as usize].granted_foreign = true;
+                    } else if S::ENABLED {
+                        self.sink.event(&TraceEvent::MergeReject {
+                            slot: slot.0,
+                            round,
+                            device: v,
+                            requester,
+                            reason: RejectReason::GrantDenied,
+                        });
                     }
                     if std::env::var("FFD2D_DEBUG").is_ok() && self.round >= 8 {
                         eprintln!("  r{} grantdecision at head {}: req_frag={} my_frag={} own_target={} mutual={} granted={}",
@@ -706,7 +763,9 @@ impl<'w> Engine<'w> {
                 fragment_size,
                 head,
             } => {
-                self.devices[v as usize].table.update_fragment(from, fragment);
+                self.devices[v as usize]
+                    .table
+                    .update_fragment(from, fragment);
                 if self.m[v as usize].hs_peer == from && !self.m[v as usize].committed {
                     let same_fragment = self.devices[v as usize].head == head;
                     let linked = self.tree[v as usize].contains(&from);
@@ -716,6 +775,15 @@ impl<'w> Engine<'w> {
                         // head's merge slot.
                         self.m[v as usize].hs_peer = NONE;
                         let round = self.round;
+                        if S::ENABLED {
+                            self.sink.event(&TraceEvent::MergeReject {
+                                slot: slot.0,
+                                round,
+                                device: v,
+                                requester: v,
+                                reason: RejectReason::VoidSameFragment,
+                            });
+                        }
                         if self.devices[v as usize].is_head() {
                             self.m[v as usize].own_target = NONE;
                         } else if let Some(parent) = self.devices[v as usize].parent {
@@ -732,13 +800,25 @@ impl<'w> Engine<'w> {
                             fragment_size,
                         );
                         self.counters.rach2_tx += 1;
+                        if S::ENABLED {
+                            // Out-of-band RACH2 handshake frame (no
+                            // medium contention modelled): traced so the
+                            // timeline's rach2 tally reconciles with
+                            // `Counters::rach2_tx`.
+                            self.sink.event(&TraceEvent::Tx {
+                                slot: slot.0,
+                                sender: v,
+                                codec: Codec::Rach2,
+                                kind: FrameLabel::HAccept,
+                            });
+                        }
                         self.outbox.push((v, from, Msg::Finalize { survivor }));
-                        self.commit(v, from, survivor);
+                        self.commit(v, from, survivor, slot);
                     }
                 }
             }
             Msg::Finalize { survivor } => {
-                self.commit(v, from, survivor);
+                self.commit(v, from, survivor, slot);
             }
             Msg::HsFailed { round } => {
                 if round != self.round {
@@ -782,7 +862,7 @@ impl<'w> Engine<'w> {
         requester: DeviceId,
         granted: bool,
         my_size: u32,
-        _slot: Slot,
+        slot: Slot,
     ) {
         let Some(pos) = self.m[v as usize]
             .foreign
@@ -800,10 +880,10 @@ impl<'w> Engine<'w> {
         // confirms with `Finalize`, upon which we commit.
         self.m[v as usize].frag_size = my_size;
         self.m[v as usize].hs_peer = requester;
-        self.send_accept(v, requester);
+        self.send_accept(v, requester, slot);
     }
 
-    fn send_accept(&mut self, v: DeviceId, to: DeviceId) {
+    fn send_accept(&mut self, v: DeviceId, to: DeviceId, slot: Slot) {
         let d = &self.devices[v as usize];
         let msg = Msg::Accept {
             fragment: d.fragment,
@@ -811,6 +891,22 @@ impl<'w> Engine<'w> {
             head: d.head,
         };
         self.counters.rach2_tx += 1;
+        if S::ENABLED {
+            // See the `Finalize` send: out-of-band RACH2 frames are
+            // traced too, keeping timeline and counter tallies equal.
+            self.sink.event(&TraceEvent::Tx {
+                slot: slot.0,
+                sender: v,
+                codec: Codec::Rach2,
+                kind: FrameLabel::HAccept,
+            });
+            self.sink.event(&TraceEvent::MergeAccept {
+                slot: slot.0,
+                round: self.round,
+                device: v,
+                peer: to,
+            });
+        }
         self.outbox.push((v, to, msg));
     }
 
@@ -833,7 +929,17 @@ impl<'w> Engine<'w> {
     /// Commit the merge over tree edge `(x, y)` from `x`'s side, with a
     /// pre-agreed surviving head (both endpoints receive the same
     /// `survivor`, so the two sides always apply the identical merge).
-    fn commit(&mut self, x: DeviceId, y: DeviceId, survivor: DeviceId) {
+    fn commit(&mut self, x: DeviceId, y: DeviceId, survivor: DeviceId, slot: Slot) {
+        if S::ENABLED {
+            self.sink.event(&TraceEvent::FragmentCommit {
+                slot: slot.0,
+                round: self.round,
+                device: x,
+                peer: y,
+                survivor,
+                old_head: self.devices[x as usize].head,
+            });
+        }
         if !self.tree[x as usize].contains(&y) {
             self.tree[x as usize].push(y);
             self.commits_total += 1;
@@ -869,95 +975,108 @@ impl<'w> Engine<'w> {
     }
 
     fn handle_rach2(&mut self, receiver: DeviceId, sig: &ProximitySignal, slot: Slot) {
-        match sig.kind {
-            FrameKind::HConnect {
-                to,
+        // Accepts travel as reliable MAC-acknowledged signalling (see
+        // `Msg::Accept`); an on-air HAccept frame is not used by this
+        // engine, so only HConnect frames matter here.
+        let FrameKind::HConnect {
+            to,
+            fragment,
+            fragment_size,
+            head,
+        } = sig.kind
+        else {
+            return;
+        };
+        self.devices[receiver as usize]
+            .table
+            .update_fragment(sig.sender, fragment);
+        if to != receiver {
+            return;
+        }
+        if S::ENABLED {
+            self.sink.event(&TraceEvent::MergeRequest {
+                slot: slot.0,
+                round: self.round,
+                requester: sig.sender,
+                target: receiver,
+                req_fragment: fragment,
+            });
+        }
+        if std::env::var("FFD2D_DEBUG").is_ok() && self.round >= 8 {
+            eprintln!(
+                "  r{} hconnect {}->{} (their frag={}, my frag={}, my hs_peer={}, link={})",
+                self.round,
+                sig.sender,
+                receiver,
                 fragment,
-                fragment_size,
-                head,
-            } => {
-                self.devices[receiver as usize]
-                    .table
-                    .update_fragment(sig.sender, fragment);
-                if to != receiver {
-                    return;
-                }
-                if std::env::var("FFD2D_DEBUG").is_ok() && self.round >= 8 {
-                    eprintln!("  r{} hconnect {}->{} (their frag={}, my frag={}, my hs_peer={}, link={})",
-                        self.round, sig.sender, receiver, fragment,
-                        self.devices[receiver as usize].fragment,
-                        self.m[receiver as usize].hs_peer as i64,
-                        self.tree[receiver as usize].contains(&sig.sender));
-                }
-                let me = &self.devices[receiver as usize];
-                if me.fragment == fragment {
-                    // Same fragment: either a stale edge choice by the
-                    // peer, or the peer missed our accept after a
-                    // committed merge. Reply either way — the accept
-                    // carries our current labels, which lets the peer
-                    // heal a missed commit (tree link exists) or abort a
-                    // void handshake (no link).
-                    self.send_accept(receiver, sig.sender);
-                    return;
-                }
-                if self.m[receiver as usize].hs_peer == sig.sender {
-                    // Mutual choice (the GHS core edge): accept without
-                    // a head round-trip. Both boundaries exchange
-                    // accepts; the commit happens on Accept/Finalize.
-                    let _ = (head, fragment_size);
-                    self.send_accept(receiver, sig.sender);
-                    return;
-                }
-                if self.tree[receiver as usize].contains(&sig.sender) {
-                    self.send_accept(receiver, sig.sender);
-                    return;
-                }
-                if slot.0 > self.round_grace_end {
-                    return; // too late in the round for a grant trip
-                }
-                let already_pending = self.m[receiver as usize]
-                    .foreign
-                    .iter()
-                    .any(|&(r, _, _)| r == sig.sender);
-                if !already_pending {
-                    self.m[receiver as usize]
-                        .foreign
-                        .push((sig.sender, fragment, fragment_size));
-                    let round = self.round;
-                    if self.devices[receiver as usize].is_head() {
-                        self.handle_msg(
-                            receiver,
-                            receiver,
-                            Msg::GrantReq {
-                                round,
-                                origin: receiver,
-                                requester: sig.sender,
-                                req_fragment: fragment,
-                                req_size: fragment_size,
-                                ttl: GRANT_TTL,
-                            },
-                            slot,
-                        );
-                    } else if let Some(parent) = self.devices[receiver as usize].parent {
-                        self.send(
-                            receiver,
-                            parent,
-                            Msg::GrantReq {
-                                round,
-                                origin: receiver,
-                                requester: sig.sender,
-                                req_fragment: fragment,
-                                req_size: fragment_size,
-                                ttl: GRANT_TTL,
-                            },
-                        );
-                    }
-                }
+                self.devices[receiver as usize].fragment,
+                self.m[receiver as usize].hs_peer as i64,
+                self.tree[receiver as usize].contains(&sig.sender)
+            );
+        }
+        let me = &self.devices[receiver as usize];
+        if me.fragment == fragment {
+            // Same fragment: either a stale edge choice by the
+            // peer, or the peer missed our accept after a
+            // committed merge. Reply either way — the accept
+            // carries our current labels, which lets the peer
+            // heal a missed commit (tree link exists) or abort a
+            // void handshake (no link).
+            self.send_accept(receiver, sig.sender, slot);
+            return;
+        }
+        if self.m[receiver as usize].hs_peer == sig.sender {
+            // Mutual choice (the GHS core edge): accept without
+            // a head round-trip. Both boundaries exchange
+            // accepts; the commit happens on Accept/Finalize.
+            let _ = (head, fragment_size);
+            self.send_accept(receiver, sig.sender, slot);
+            return;
+        }
+        if self.tree[receiver as usize].contains(&sig.sender) {
+            self.send_accept(receiver, sig.sender, slot);
+            return;
+        }
+        if slot.0 > self.round_grace_end {
+            return; // too late in the round for a grant trip
+        }
+        let already_pending = self.m[receiver as usize]
+            .foreign
+            .iter()
+            .any(|&(r, _, _)| r == sig.sender);
+        if !already_pending {
+            self.m[receiver as usize]
+                .foreign
+                .push((sig.sender, fragment, fragment_size));
+            let round = self.round;
+            if self.devices[receiver as usize].is_head() {
+                self.handle_msg(
+                    receiver,
+                    receiver,
+                    Msg::GrantReq {
+                        round,
+                        origin: receiver,
+                        requester: sig.sender,
+                        req_fragment: fragment,
+                        req_size: fragment_size,
+                        ttl: GRANT_TTL,
+                    },
+                    slot,
+                );
+            } else if let Some(parent) = self.devices[receiver as usize].parent {
+                self.send(
+                    receiver,
+                    parent,
+                    Msg::GrantReq {
+                        round,
+                        origin: receiver,
+                        requester: sig.sender,
+                        req_fragment: fragment,
+                        req_size: fragment_size,
+                        ttl: GRANT_TTL,
+                    },
+                );
             }
-            // Accepts travel as reliable MAC-acknowledged signalling
-            // (see `Msg::Accept`); an on-air HAccept frame is not used
-            // by this engine.
-            _ => {}
         }
     }
 
@@ -965,7 +1084,9 @@ impl<'w> Engine<'w> {
     /// instant was `base_age` slots ago (0 for a natural threshold
     /// crossing; the absorbing pulse's age for an absorption).
     fn enqueue_fire(&mut self, id: DeviceId, slot: Slot, min_jitter: u64, base_age: u8) {
-        let j = self.rng.gen_range(min_jitter..FIRE_JITTER.max(min_jitter + 1));
+        let j = self
+            .rng
+            .gen_range(min_jitter..FIRE_JITTER.max(min_jitter + 1));
         let at = (slot.0 + j) as usize % FIRE_RING;
         self.fire_queue[at].push((id, base_age.saturating_add(j as u8)));
     }
@@ -1015,7 +1136,7 @@ impl<'w> Engine<'w> {
                 }
             }
         }
-        pending.extend(self.rach2_out.drain(..));
+        pending.append(&mut self.rach2_out);
         if pending.is_empty() {
             return;
         }
@@ -1025,12 +1146,13 @@ impl<'w> Engine<'w> {
         {
             let devices = &mut self.devices;
             let prc = &self.prc;
-            self.medium.resolve(
+            self.medium.resolve_traced(
                 self.world,
                 slot,
                 &pending,
                 &mut self.counters,
-                |receiver, sig, rx_dbm| match sig.kind {
+                &mut *self.sink,
+                |receiver, sig, rx_dbm, sink| match sig.kind {
                     FrameKind::Fire { fragment, age } => {
                         let dev = &mut devices[receiver as usize];
                         dev.table.observe_fire(
@@ -1042,10 +1164,25 @@ impl<'w> Engine<'w> {
                             &pathloss,
                             tx_power,
                         );
-                        if age != BEACON_AGE
-                            && dev.hear_fire_delayed(sig.sender, prc, age as u32)
-                        {
-                            absorbed.push((receiver, age));
+                        if age != BEACON_AGE {
+                            let before = if S::ENABLED { dev.osc.phase() } else { 0.0 };
+                            let fired = dev.hear_fire_delayed(sig.sender, prc, age as u32);
+                            if S::ENABLED {
+                                let after = dev.osc.phase();
+                                if after != before || fired {
+                                    sink.event(&TraceEvent::PhaseAdjust {
+                                        slot: slot.0,
+                                        device: receiver,
+                                        sender: sig.sender,
+                                        before,
+                                        after,
+                                        absorbed: fired,
+                                    });
+                                }
+                            }
+                            if fired {
+                                absorbed.push((receiver, age));
+                            }
                         }
                     }
                     _ => rach2_events.push((receiver, *sig)),
@@ -1077,14 +1214,35 @@ impl<'w> Engine<'w> {
             cfg.protocol.discovery_periods as u64 * cfg.protocol.period_slots as u64;
         let max_rounds = 2 * (usize::BITS - n.leading_zeros()) + 16;
         let mut convergence: Option<u64> = None;
+        let mut last_slot = 0u64;
+        // Completeness denominator for per-slot stats (constant over a
+        // static run; the graph is built lazily either way).
+        let ground_truth_links = if S::ENABLED {
+            2 * self.world.proximity_graph().m() as u64
+        } else {
+            0
+        };
+        if S::ENABLED {
+            self.sink.event(&TraceEvent::PhaseEnter {
+                slot: 0,
+                phase: ProtoPhase::Discovery,
+            });
+        }
 
         for s in 0..cfg.sim.max_slots.0 {
             let slot = Slot(s);
+            last_slot = s;
 
             // Phase transitions.
             match self.phase {
                 Phase::Discovery if s >= discovery_end => {
                     self.phase = Phase::Merge;
+                    if S::ENABLED {
+                        self.sink.event(&TraceEvent::PhaseEnter {
+                            slot: s,
+                            phase: ProtoPhase::Merge,
+                        });
+                    }
                     for d in self.devices.iter_mut() {
                         d.coupling = CouplingMode::TreeOnly;
                     }
@@ -1105,6 +1263,12 @@ impl<'w> Engine<'w> {
                         || self.round >= max_rounds
                     {
                         self.phase = Phase::Sync;
+                        if S::ENABLED {
+                            self.sink.event(&TraceEvent::PhaseEnter {
+                                slot: s,
+                                phase: ProtoPhase::Sync,
+                            });
+                        }
                         for d in self.devices.iter_mut() {
                             d.coupling = CouplingMode::TreeOnly;
                         }
@@ -1129,10 +1293,7 @@ impl<'w> Engine<'w> {
             if self.phase == Phase::Merge && s <= self.round_grace_end {
                 for v in 0..n as DeviceId {
                     let st = &self.m[v as usize];
-                    if st.hs_peer != NONE
-                        && !st.committed
-                        && st.hs_next_tx == s
-                    {
+                    if st.hs_peer != NONE && !st.committed && st.hs_next_tx == s {
                         let d = &self.devices[v as usize];
                         let sig = ProximitySignal {
                             sender: v,
@@ -1150,9 +1311,7 @@ impl<'w> Engine<'w> {
                             st.hs_retries -= 1;
                             st.hs_next_tx = s
                                 + HANDSHAKE_TIMEOUT
-                                + self.rng.gen_range(
-                                    0..cfg.protocol.handshake_window as u64,
-                                );
+                                + self.rng.gen_range(0..cfg.protocol.handshake_window as u64);
                         }
                     }
                 }
@@ -1161,16 +1320,45 @@ impl<'w> Engine<'w> {
             // Broadcast traffic + coupling.
             self.broadcast_step(slot);
 
+            // Per-slot population summary — the "slot tick" of the
+            // trace. O(n log n), gathered only when a sink listens.
+            if S::ENABLED {
+                let fragments = self.fragment_count();
+                let phase_spread = self.phase_spread();
+                let discovered_links: u64 = self
+                    .devices
+                    .iter()
+                    .map(|d| d.table.discovered() as u64)
+                    .sum();
+                self.sink.event(&TraceEvent::SlotStats {
+                    slot: s,
+                    fragments,
+                    phase_spread,
+                    discovered_links,
+                    ground_truth_links,
+                });
+            }
+
             // Convergence: all phases within one slot of each other.
             if self.phase == Phase::Sync && s % SYNC_CHECK_INTERVAL == 0 {
                 let tol = 1.0 / cfg.protocol.period_slots as f64 + 1e-12;
                 if n > 0 && self.phase_spread() <= tol {
                     convergence = Some(s);
+                    if S::ENABLED {
+                        self.sink.event(&TraceEvent::Converged { slot: s });
+                    }
                     break;
                 }
             }
         }
 
+        if S::ENABLED {
+            self.sink.event(&TraceEvent::RunEnd {
+                slot: last_slot,
+                converged: convergence.is_some(),
+            });
+            self.sink.finish();
+        }
         self.finish(convergence)
     }
 

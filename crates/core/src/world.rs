@@ -58,6 +58,7 @@ use ffd2d_sim::counters::Counters;
 use ffd2d_sim::deployment::{Deployment, DeviceId, Meters, Position};
 use ffd2d_sim::rng::{StreamId, StreamRng};
 use ffd2d_sim::time::Slot;
+use ffd2d_trace::{NullSink, TraceEvent, TraceSink};
 
 use crate::scenario::ScenarioConfig;
 
@@ -412,6 +413,36 @@ impl FastMedium {
         counters: &mut Counters,
         mut deliver: F,
     ) {
+        self.resolve_traced(
+            world,
+            slot,
+            transmissions,
+            counters,
+            &mut NullSink,
+            |r, sig, p, _| deliver(r, sig, p),
+        )
+    }
+
+    /// [`FastMedium::resolve`] with per-event tracing: every
+    /// transmission, decode and collision is reported to `sink`, plus
+    /// one aggregate below-threshold count per slot (the fast path
+    /// reconstructs that tally in closed form and never visits the
+    /// individual inaudible pairs). The sink is also threaded into
+    /// `deliver` so callers can emit follow-on events (e.g. oscillator
+    /// adjustments) without a second borrow. With a disabled sink this
+    /// monomorphizes to exactly the untraced resolver.
+    pub fn resolve_traced<S, F>(
+        &mut self,
+        world: &World,
+        slot: Slot,
+        transmissions: &[ProximitySignal],
+        counters: &mut Counters,
+        sink: &mut S,
+        mut deliver: F,
+    ) where
+        S: TraceSink,
+        F: FnMut(DeviceId, &ProximitySignal, f64, &mut S),
+    {
         if transmissions.is_empty() {
             return;
         }
@@ -426,6 +457,14 @@ impl FastMedium {
             match tx.codec() {
                 RachCodec::Rach1 => counters.rach1_tx += 1,
                 RachCodec::Rach2 => counters.rach2_tx += 1,
+            }
+            if S::ENABLED {
+                sink.event(&TraceEvent::Tx {
+                    slot: slot.0,
+                    sender: tx.sender,
+                    codec: tx.codec().trace_codec(),
+                    kind: tx.kind.trace_label(),
+                });
             }
             let s = tx.sender as usize;
             if self.tx_stamp[s] != epoch {
@@ -505,7 +544,14 @@ impl FastMedium {
         // either as detected (rx_ok + rx_collision below) or as below
         // threshold — so the latter is the complement.
         let receivers = world.n() as u64 - distinct_senders;
-        counters.rx_below_threshold += transmissions.len() as u64 * receivers - detected;
+        let below_threshold = transmissions.len() as u64 * receivers - detected;
+        counters.rx_below_threshold += below_threshold;
+        if S::ENABLED && below_threshold > 0 {
+            sink.event(&TraceEvent::RxBelowThreshold {
+                slot: slot.0,
+                count: below_threshold,
+            });
+        }
 
         // Deterministic delivery order regardless of tx iteration
         // pattern: sort touched keys.
@@ -523,9 +569,39 @@ impl FastMedium {
                 counters.rx_ok += 1;
                 counters.rx_collision += (n_signals - 1) as u64;
                 let sig = transmissions[self.best_tx[k] as usize];
-                deliver(receiver, &sig, self.best[k]);
+                if S::ENABLED {
+                    sink.event(&TraceEvent::RxDecode {
+                        slot: slot.0,
+                        receiver,
+                        sender: sig.sender,
+                        codec: sig.codec().trace_codec(),
+                        rx_dbm: self.best[k],
+                    });
+                    if n_signals > 1 {
+                        sink.event(&TraceEvent::RxCollision {
+                            slot: slot.0,
+                            receiver,
+                            codec: sig.codec().trace_codec(),
+                            signals: n_signals - 1,
+                        });
+                    }
+                }
+                deliver(receiver, &sig, self.best[k], sink);
             } else {
                 counters.rx_collision += n_signals as u64;
+                if S::ENABLED {
+                    let codec = if k.is_multiple_of(2) {
+                        ffd2d_trace::Codec::Rach1
+                    } else {
+                        ffd2d_trace::Codec::Rach2
+                    };
+                    sink.event(&TraceEvent::RxCollision {
+                        slot: slot.0,
+                        receiver,
+                        codec,
+                        signals: n_signals,
+                    });
+                }
             }
         }
     }

@@ -66,7 +66,10 @@ where
     let grouped = run_trials(xs, &cfg, |&x, ctx| {
         let scenario = scenario_for(x).seeded(ctx.seed).with_max_slots(horizon);
         let out = StProtocol::run(&scenario);
-        (out.time_or(horizon).as_millis() as f64, out.messages() as f64)
+        (
+            out.time_or(horizon).as_millis() as f64,
+            out.messages() as f64,
+        )
     });
     xs.iter()
         .zip(grouped)
@@ -162,9 +165,7 @@ pub fn topology_comparison(params: &AblationParams) -> (Summary, Summary) {
         } else {
             CoupledNetwork::full_mesh(n, 100, 5, prc, &mut rng)
         };
-        net.run_to_sync(horizon)
-            .slots_to_sync
-            .unwrap_or(horizon) as f64
+        net.run_to_sync(horizon).slots_to_sync.unwrap_or(horizon) as f64
     });
     (
         Summary::from_samples(grouped[0].iter().copied()),

@@ -1,11 +1,20 @@
-//! Ablations A1–A4. Usage: ablation [sigma|coupling|density|topology|all]
+//! Ablations A1–A4.
+//! Usage: ablation [sigma|coupling|density|topology|all] [--trace DIR]
+//!
+//! With `--trace DIR`, additionally runs one traced ST trial of the
+//! Table-I baseline ablation scenario (n = AblationParams default,
+//! master seed): a JSONL event log at DIR/ablation_st.jsonl plus
+//! results/timeline_ablation_st.csv.
 
+use ffd2d_core::ScenarioConfig;
 use ffd2d_experiments::ablation::{
     coupling_sweep, density_sweep, shadowing_sweep, topology_comparison, AblationParams,
 };
 use ffd2d_sim::time::SlotDuration;
 
 fn main() {
+    // Validate `--trace` usage before paying for the sweeps.
+    let trace_dir = ffd2d_experiments::trace_dir_from_args();
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let params = AblationParams::default();
     if which == "sigma" || which == "all" {
@@ -29,7 +38,10 @@ fn main() {
             horizon: SlotDuration(400_000),
             ..params
         };
-        println!("== A2: coupling strength sweep (radio-free mesh, n={}) ==", params.n);
+        println!(
+            "== A2: coupling strength sweep (radio-free mesh, n={}) ==",
+            params.n
+        );
         for p in coupling_sweep(&params, &[0.01, 0.02, 0.05, 0.1, 0.2]) {
             println!(
                 "  eps={:5.2}: slots-to-sync {:8.0} (±{:.0})",
@@ -58,9 +70,36 @@ fn main() {
             horizon: SlotDuration(2_000_000),
             ..params
         };
-        println!("== A4: mesh vs path coupling (radio-free, n={}) ==", params.n);
+        println!(
+            "== A4: mesh vs path coupling (radio-free, n={}) ==",
+            params.n
+        );
         let (mesh, path) = topology_comparison(&params);
-        println!("  mesh: {:8.0} slots (±{:.0})", mesh.mean(), mesh.ci95_half_width());
-        println!("  path: {:8.0} slots (±{:.0})", path.mean(), path.ci95_half_width());
+        println!(
+            "  mesh: {:8.0} slots (±{:.0})",
+            mesh.mean(),
+            mesh.ci95_half_width()
+        );
+        println!(
+            "  path: {:8.0} slots (±{:.0})",
+            path.mean(),
+            path.ci95_half_width()
+        );
+    }
+    if let Some(dir) = trace_dir {
+        let params = AblationParams::default();
+        let scenario = ScenarioConfig::table1(params.n)
+            .seeded(params.seed)
+            .with_max_slots(params.horizon);
+        match ffd2d_experiments::trace::write_st_trace(&scenario, &dir, "ablation_st") {
+            Ok(path) => eprintln!(
+                "traced baseline ST trial: {} + results/timeline_ablation_st.csv",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("--trace failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -2,12 +2,17 @@
 //! nodes, ST vs. FST).
 //!
 //! Usage: fig3 [--quick] [--trials N] [--max-n M] [--horizon SLOTS]
-//! Writes results/fig3.csv. The sweep is identical to fig4's — run
-//! `fig4` for the message view of the same simulations.
+//!             [--trace DIR]
+//! Writes results/fig3.csv (+fig4.csv — same sweep; run `fig4` for the
+//! message view). With `--trace DIR`, additionally replays trial 0 of
+//! each node count with tracing on: JSONL event logs under DIR and
+//! per-slot timeline CSVs under results/ (see `trace_inspect`).
 
 use ffd2d_experiments::sweep::run_paper_sweep;
 
 fn main() {
+    // Validate `--trace` usage before paying for the sweep.
+    let trace_dir = ffd2d_experiments::trace_dir_from_args();
     let params = ffd2d_experiments::sweep_params_from_args();
     eprintln!(
         "running paired sweep: n = {:?}, {} trials, horizon {} slots ...",
@@ -20,6 +25,19 @@ fn main() {
     }
     let _ = std::fs::create_dir_all("results");
     let _ = std::fs::write("results/fig3.csv", report.fig3().to_csv());
-    let _ = std::fs::write("results/fig4.csv", report.fig4().to_csv());
+    let _ = std::fs::write("results/fig4.csv", report.fig4_csv());
     eprintln!("wrote results/fig3.csv and results/fig4.csv (shared sweep)");
+    if let Some(dir) = trace_dir {
+        match ffd2d_experiments::write_sweep_traces(&params, &dir) {
+            Ok(paths) => eprintln!(
+                "traced trial 0 of each cell: {} JSONL logs under {} + timeline CSVs under results/",
+                paths.len(),
+                dir.display()
+            ),
+            Err(e) => {
+                eprintln!("--trace failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -1,9 +1,16 @@
 //! Regenerates the paper's Fig. 4 (average number of message exchanges
-//! vs. number of nodes, ST vs. FST). Same sweep as fig3.
+//! vs. number of nodes, ST vs. FST). Same sweep as fig3; fig4.csv also
+//! carries the loss-attribution columns (collision rate, below-threshold
+//! rx loss) that explain the message-count divergence.
+//!
+//! Usage: fig4 [--quick] [--trials N] [--max-n M] [--horizon SLOTS]
+//!             [--trace DIR]
 
 use ffd2d_experiments::sweep::run_paper_sweep;
 
 fn main() {
+    // Validate `--trace` usage before paying for the sweep.
+    let trace_dir = ffd2d_experiments::trace_dir_from_args();
     let params = ffd2d_experiments::sweep_params_from_args();
     eprintln!(
         "running paired sweep: n = {:?}, {} trials, horizon {} slots ...",
@@ -16,6 +23,19 @@ fn main() {
     }
     let _ = std::fs::create_dir_all("results");
     let _ = std::fs::write("results/fig3.csv", report.fig3().to_csv());
-    let _ = std::fs::write("results/fig4.csv", report.fig4().to_csv());
+    let _ = std::fs::write("results/fig4.csv", report.fig4_csv());
     eprintln!("wrote results/fig3.csv and results/fig4.csv (shared sweep)");
+    if let Some(dir) = trace_dir {
+        match ffd2d_experiments::write_sweep_traces(&params, &dir) {
+            Ok(paths) => eprintln!(
+                "traced trial 0 of each cell: {} JSONL logs under {} + timeline CSVs under results/",
+                paths.len(),
+                dir.display()
+            ),
+            Err(e) => {
+                eprintln!("--trace failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -25,11 +25,14 @@ pub mod fig2;
 pub mod rssi_error;
 pub mod sweep;
 pub mod table1;
+pub mod trace;
 
 pub use sweep::{run_paper_sweep, SweepParams, SweepReport};
+pub use trace::{trace_dir_from_args, write_sweep_traces};
 
 /// Parse the common sweep flags shared by the `fig3`/`fig4` binaries:
-/// `--quick`, `--trials N`, `--max-n M`, `--horizon SLOTS`.
+/// `--quick`, `--trials N`, `--max-n M`, `--horizon SLOTS` (see
+/// [`trace_dir_from_args`] for the `--trace DIR` flag).
 pub fn sweep_params_from_args() -> SweepParams {
     let args: Vec<String> = std::env::args().collect();
     let mut params = if args.iter().any(|a| a == "--quick") {

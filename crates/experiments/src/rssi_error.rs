@@ -111,8 +111,7 @@ mod tests {
         });
         let rel_mean = (report.measured.mean() - report.theory_mean).abs() / report.theory_mean;
         assert!(rel_mean < 0.03, "mean off by {rel_mean}");
-        let rel_std =
-            (report.measured.std_dev() - report.theory_std).abs() / report.theory_std;
+        let rel_std = (report.measured.std_dev() - report.theory_std).abs() / report.theory_std;
         assert!(rel_std < 0.1, "std off by {rel_std}");
     }
 

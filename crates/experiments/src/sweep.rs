@@ -45,7 +45,7 @@ impl Default for SweepParams {
             node_counts: vec![50, 100, 200, 400, 600, 800, 1000],
             trials: 5,
             horizon: SlotDuration(30_000),
-            master_seed: 0xF193_D2D,
+            master_seed: 0x0F19_3D2D,
         }
     }
 }
@@ -69,6 +69,11 @@ pub struct CellStats {
     pub time_ms: Summary,
     /// Total control messages transmitted.
     pub messages: Summary,
+    /// Fraction of reception attempts lost to preamble collisions.
+    pub collision_rate: Summary,
+    /// Fraction of reception attempts lost below the detection
+    /// threshold (the channel's share of the loss).
+    pub rx_loss: Summary,
     /// Trials that failed to converge within the horizon.
     pub censored: u32,
 }
@@ -87,9 +92,13 @@ pub struct SweepReport {
 struct PairedOutcome {
     st_time: u64,
     st_msgs: u64,
+    st_collision: f64,
+    st_rx_loss: f64,
     st_converged: bool,
     fst_time: u64,
     fst_msgs: u64,
+    fst_collision: f64,
+    fst_rx_loss: f64,
     fst_converged: bool,
 }
 
@@ -110,9 +119,13 @@ pub fn run_paper_sweep(params: &SweepParams) -> SweepReport {
         PairedOutcome {
             st_time: st.time_or(horizon).as_millis(),
             st_msgs: st.messages(),
+            st_collision: st.counters.collision_rate(),
+            st_rx_loss: st.counters.rx_loss_rate(),
             st_converged: st.converged(),
             fst_time: fst.time_or(horizon).as_millis(),
             fst_msgs: fst.messages(),
+            fst_collision: fst.counters.collision_rate(),
+            fst_rx_loss: fst.counters.rx_loss_rate(),
             fst_converged: fst.converged(),
         }
     });
@@ -125,15 +138,21 @@ pub fn run_paper_sweep(params: &SweepParams) -> SweepReport {
             let mut st = CellStats {
                 time_ms: Summary::new(),
                 messages: Summary::new(),
+                collision_rate: Summary::new(),
+                rx_loss: Summary::new(),
                 censored: 0,
             };
             let mut fst = st;
             for o in outcomes {
                 st.time_ms.push(o.st_time as f64);
                 st.messages.push(o.st_msgs as f64);
+                st.collision_rate.push(o.st_collision);
+                st.rx_loss.push(o.st_rx_loss);
                 st.censored += u32::from(!o.st_converged);
                 fst.time_ms.push(o.fst_time as f64);
                 fst.messages.push(o.fst_msgs as f64);
+                fst.collision_rate.push(o.fst_collision);
+                fst.rx_loss.push(o.fst_rx_loss);
                 fst.censored += u32::from(!o.fst_converged);
             }
             (n, st, fst)
@@ -179,6 +198,32 @@ impl SweepReport {
         )
     }
 
+    /// The `results/fig4.csv` export: the Fig. 4 message means plus the
+    /// loss-attribution columns (collision rate and below-threshold rx
+    /// loss per protocol) that diagnose *why* message counts move — at
+    /// large n the FST mesh drowns in collisions while ST's staggered
+    /// tree traffic does not.
+    pub fn fig4_csv(&self) -> String {
+        let mut out = String::from(
+            "n,st_msgs_mean,st_msgs_ci95,fst_msgs_mean,fst_msgs_ci95,\
+             st_collision_rate,fst_collision_rate,st_rx_loss,fst_rx_loss\n",
+        );
+        for &(n, st, fst) in &self.cells {
+            out.push_str(&format!(
+                "{n},{:.3},{:.3},{:.3},{:.3},{:.6},{:.6},{:.6},{:.6}\n",
+                st.messages.mean(),
+                st.messages.ci95_half_width(),
+                fst.messages.mean(),
+                fst.messages.ci95_half_width(),
+                st.collision_rate.mean(),
+                fst.collision_rate.mean(),
+                st.rx_loss.mean(),
+                fst.rx_loss.mean(),
+            ));
+        }
+        out
+    }
+
     /// Markdown table for EXPERIMENTS.md.
     pub fn to_table(&self) -> Table {
         let mut t = Table::new([
@@ -193,7 +238,11 @@ impl SweepReport {
         for &(n, st, fst) in &self.cells {
             t.push_row([
                 n.to_string(),
-                format!("{:.0} (±{:.0})", st.time_ms.mean(), st.time_ms.ci95_half_width()),
+                format!(
+                    "{:.0} (±{:.0})",
+                    st.time_ms.mean(),
+                    st.time_ms.ci95_half_width()
+                ),
                 format!(
                     "{:.0} (±{:.0})",
                     fst.time_ms.mean(),
@@ -244,6 +293,14 @@ mod tests {
         assert_eq!(fig3.series[0].points.len(), 3);
         let csv = report.fig4().to_csv();
         assert!(csv.contains("ST (proposed)"));
+        let fig4 = report.fig4_csv();
+        assert!(fig4.starts_with("n,st_msgs_mean"));
+        assert!(fig4.contains("st_collision_rate"));
+        assert_eq!(fig4.lines().count(), 4);
+        for &(_, st, fst) in &report.cells {
+            assert!(st.collision_rate.mean() >= 0.0 && st.collision_rate.mean() < 1.0);
+            assert!(fst.rx_loss.mean() >= 0.0 && fst.rx_loss.mean() <= 1.0);
+        }
         let table = report.to_table();
         assert_eq!(table.len(), 3);
     }

@@ -1,0 +1,108 @@
+//! `--trace` support for the figure binaries.
+//!
+//! The sweep itself runs untraced (tracing one representative trial is
+//! cheap; tracing hundreds is not). When `--trace <dir>` is passed, the
+//! binaries additionally **replay trial 0 of every node count** — under
+//! the exact [`TrialCtx`] seed the sweep used, so the traced run is the
+//! same simulation the figure's first sample came from — with a
+//! [`JsonlSink`] + [`TimelineSink`] tee attached to both protocols:
+//!
+//! * `<dir>/st_n{n}.jsonl`, `<dir>/fst_n{n}.jsonl` — full replayable
+//!   event logs (one JSON object per line; see `trace_inspect`);
+//! * `results/timeline_st_n{n}.csv`, `results/timeline_fst_n{n}.csv` —
+//!   per-slot fragment count, sync error, discovery completeness and
+//!   collision rate, ready for plotting.
+//!
+//! Tracing is observational: the replayed outcomes are bit-identical to
+//! the untraced sweep cells (locked by `tests/trace.rs`).
+
+use std::fs::File;
+use std::io::{self, BufWriter};
+use std::path::{Path, PathBuf};
+
+use ffd2d_baseline::FstProtocol;
+use ffd2d_core::{ScenarioConfig, StProtocol, World};
+use ffd2d_parallel::{SweepConfig, TrialCtx};
+use ffd2d_trace::{JsonlSink, TeeSink, TimelineSink};
+
+use crate::sweep::SweepParams;
+
+/// Parse `--trace <dir>` from argv. `None` when the flag is absent.
+/// A bare `--trace` with no directory (or with another flag where the
+/// directory should be) is a hard usage error, not a silent no-op.
+pub fn trace_dir_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--trace")?;
+    match args.get(i + 1) {
+        Some(dir) if !dir.starts_with("--") => Some(PathBuf::from(dir)),
+        _ => {
+            eprintln!("--trace requires a directory argument");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Replay trial 0 of every sweep cell with tracing enabled, writing
+/// JSONL logs under `dir` and timeline CSVs under `results/`. Returns
+/// the JSONL paths written (ST and FST interleaved per node count).
+pub fn write_sweep_traces(params: &SweepParams, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::create_dir_all("results")?;
+    let cfg = SweepConfig {
+        master_seed: params.master_seed,
+        trials: params.trials,
+    };
+    let mut written = Vec::new();
+    for (param_index, &n) in params.node_counts.iter().enumerate() {
+        let seed = TrialCtx::new(&cfg, param_index, 0).seed;
+        let scenario = ScenarioConfig::table1(n)
+            .seeded(seed)
+            .with_max_slots(params.horizon);
+        let world = World::new(&scenario);
+        written.push(trace_one(dir, &format!("st_n{n}"), |sink| {
+            let mut timeline = TimelineSink::new();
+            StProtocol::run_in_traced(&world, &mut TeeSink(sink, &mut timeline));
+            timeline
+        })?);
+        written.push(trace_one(dir, &format!("fst_n{n}"), |sink| {
+            let mut timeline = TimelineSink::new();
+            FstProtocol::run_in_traced(&world, &mut TeeSink(sink, &mut timeline));
+            timeline
+        })?);
+    }
+    Ok(written)
+}
+
+/// Trace a single ST trial of an arbitrary scenario (the ablation
+/// binary's `--trace` path): JSONL to `<dir>/{stem}.jsonl`, timeline
+/// CSV to `results/timeline_{stem}.csv`.
+pub fn write_st_trace(scenario: &ScenarioConfig, dir: &Path, stem: &str) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::create_dir_all("results")?;
+    let world = World::new(scenario);
+    trace_one(dir, stem, |sink| {
+        let mut timeline = TimelineSink::new();
+        StProtocol::run_in_traced(&world, &mut TeeSink(sink, &mut timeline));
+        timeline
+    })
+}
+
+/// Run one traced trial: JSONL to `<dir>/{stem}.jsonl`, timeline CSV to
+/// `results/timeline_{stem}.csv`.
+fn trace_one(
+    dir: &Path,
+    stem: &str,
+    run: impl FnOnce(&mut JsonlSink<BufWriter<File>>) -> TimelineSink,
+) -> io::Result<PathBuf> {
+    let jsonl_path = dir.join(format!("{stem}.jsonl"));
+    let mut jsonl = JsonlSink::new(BufWriter::new(File::create(&jsonl_path)?));
+    let timeline = run(&mut jsonl);
+    if let Some(e) = jsonl.io_error() {
+        return Err(io::Error::new(
+            e.kind(),
+            format!("writing {jsonl_path:?}: {e}"),
+        ));
+    }
+    std::fs::write(format!("results/timeline_{stem}.csv"), timeline.to_csv())?;
+    Ok(jsonl_path)
+}

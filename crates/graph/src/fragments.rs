@@ -132,7 +132,10 @@ impl FragmentForest {
             return false;
         }
         // Decide surviving head before the union reshuffles roots.
-        let (su, sv) = (self.members[ru as usize].len(), self.members[rv as usize].len());
+        let (su, sv) = (
+            self.members[ru as usize].len(),
+            self.members[rv as usize].len(),
+        );
         let (hu, hv) = (self.head[ru as usize], self.head[rv as usize]);
         let surviving_head = match su.cmp(&sv) {
             core::cmp::Ordering::Greater => hu,

@@ -60,7 +60,7 @@ impl SpanningForest {
 pub fn kruskal_max_st(g: &WeightedGraph) -> SpanningForest {
     let mut edges = g.edges();
     // Heavy first; deterministic tie-break on endpoints.
-    edges.sort_by(|a, b| b.heavy_key().cmp(&a.heavy_key()));
+    edges.sort_by_key(|e| std::cmp::Reverse(e.heavy_key()));
     let mut uf = UnionFind::new(g.n());
     let mut chosen = Vec::with_capacity(g.n().saturating_sub(1));
     for e in edges {
@@ -139,7 +139,7 @@ pub fn boruvka_max_st(g: &WeightedGraph) -> (SpanningForest, Vec<BoruvkaRound>) 
             }
             for r in [ru, rv] {
                 let slot = &mut best[r as usize];
-                if slot.map_or(true, |cur| e.heavy_key() > cur.heavy_key()) {
+                if slot.is_none_or(|cur| e.heavy_key() > cur.heavy_key()) {
                     *slot = Some(e);
                 }
             }
@@ -244,11 +244,7 @@ mod tests {
         g.add_edge(3, 4, w(1.0));
         g.add_edge(4, 5, w(2.0));
         g.add_edge(3, 5, w(3.0));
-        for f in [
-            kruskal_max_st(&g),
-            prim_max_st(&g),
-            boruvka_max_st(&g).0,
-        ] {
+        for f in [kruskal_max_st(&g), prim_max_st(&g), boruvka_max_st(&g).0] {
             assert_eq!(f.tree_count, 2);
             assert_eq!(f.edges.len(), 4);
             assert!(!f.is_single_tree());

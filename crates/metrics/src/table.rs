@@ -92,12 +92,7 @@ impl Table {
                 c.clone()
             }
         };
-        let mut out = self
-            .header
-            .iter()
-            .map(quote)
-            .collect::<Vec<_>>()
-            .join(",");
+        let mut out = self.header.iter().map(quote).collect::<Vec<_>>().join(",");
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(quote).collect::<Vec<_>>().join(","));

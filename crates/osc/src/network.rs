@@ -247,11 +247,18 @@ mod tests {
         for seed in 0..5 {
             let mut rng = Rng64::seed_from_u64(seed);
             let mut mesh = CoupledNetwork::full_mesh(10, 100, 2, Prc::standard(), &mut rng);
-            mesh_total += mesh.run_to_sync(2_000_000).slots_to_sync.unwrap_or(2_000_000);
+            mesh_total += mesh
+                .run_to_sync(2_000_000)
+                .slots_to_sync
+                .unwrap_or(2_000_000);
             let mut rng = Rng64::seed_from_u64(seed);
             let edges: Vec<(u32, u32)> = (0..9).map(|i| (i, i + 1)).collect();
-            let mut path = CoupledNetwork::from_edges(10, &edges, 100, 2, Prc::standard(), &mut rng);
-            path_total += path.run_to_sync(2_000_000).slots_to_sync.unwrap_or(2_000_000);
+            let mut path =
+                CoupledNetwork::from_edges(10, &edges, 100, 2, Prc::standard(), &mut rng);
+            path_total += path
+                .run_to_sync(2_000_000)
+                .slots_to_sync
+                .unwrap_or(2_000_000);
         }
         assert!(
             mesh_total <= path_total,

@@ -33,7 +33,10 @@ impl PhaseOscillator {
     /// A new oscillator with initial `phase ∈ [0, 1)`, period `T` slots
     /// and a post-fire refractory window.
     pub fn new(phase: f64, period_slots: u32, refractory_slots: u32) -> Self {
-        assert!((0.0..1.0).contains(&phase), "initial phase must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&phase),
+            "initial phase must be in [0,1)"
+        );
         assert!(period_slots > 0, "period must be positive");
         assert!(
             refractory_slots < period_slots,

@@ -49,7 +49,7 @@ pub fn phase_spread(phases: &[f64]) -> f64 {
 /// Two phases belong to the same cluster when their circular distance is
 /// at most `tol`; clusters are chains of such links.
 pub fn firing_groups(phases: &[f64], tol: f64) -> usize {
-    assert!(tol >= 0.0 && tol < 0.5, "tolerance must be in [0, 0.5)");
+    assert!((0.0..0.5).contains(&tol), "tolerance must be in [0, 0.5)");
     if phases.is_empty() {
         return 0;
     }

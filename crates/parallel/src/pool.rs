@@ -66,7 +66,7 @@ where
         .unwrap_or_else(|| available_workers(n))
         .clamp(1, n.max(1));
     if workers == 1 {
-        return inputs.iter().map(|t| f(t)).collect();
+        return inputs.iter().map(&f).collect();
     }
 
     // One slot per task; slots are disjoint, the mutex-per-slot cost is
@@ -129,7 +129,7 @@ mod tests {
 
     #[test]
     fn borrows_caller_state() {
-        let base = vec![10u64, 20, 30];
+        let base = [10u64, 20, 30];
         let inputs = vec![0usize, 1, 2];
         let out = parallel_map(&inputs, |&i| base[i] + 1);
         assert_eq!(out, vec![11, 21, 31]);

@@ -51,8 +51,14 @@ pub struct TrialCtx {
 }
 
 impl TrialCtx {
-    fn new(cfg: &SweepConfig, param_index: usize, trial: u32) -> TrialCtx {
-        let k0 = SplitMix64::mix(cfg.master_seed ^ (param_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    /// Derive the cell identity for `(param_index, trial)`. Public so
+    /// harnesses can replay an individual sweep cell (e.g. re-run trial
+    /// 0 of a node count with tracing enabled) under the exact seed the
+    /// sweep used.
+    pub fn new(cfg: &SweepConfig, param_index: usize, trial: u32) -> TrialCtx {
+        let k0 = SplitMix64::mix(
+            cfg.master_seed ^ (param_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         let seed = SplitMix64::mix(k0 ^ (trial as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
         TrialCtx {
             param_index,

@@ -30,6 +30,15 @@ impl RachCodec {
     /// Both codecs, in protocol order.
     pub const ALL: [RachCodec; 2] = [RachCodec::Rach1, RachCodec::Rach2];
 
+    /// This codec in the trace-event vocabulary.
+    #[inline]
+    pub fn trace_codec(self) -> ffd2d_trace::Codec {
+        match self {
+            RachCodec::Rach1 => ffd2d_trace::Codec::Rach1,
+            RachCodec::Rach2 => ffd2d_trace::Codec::Rach2,
+        }
+    }
+
     /// The Zadoff–Chu root assigned to this codec. Distinct roots give
     /// the `1/√N` cross-correlation that makes the codecs mutually
     /// non-interfering (tested in [`crate::zadoffchu`]).

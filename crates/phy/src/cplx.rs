@@ -98,7 +98,7 @@ mod tests {
     #[test]
     fn cis_lies_on_unit_circle() {
         for k in 0..16 {
-            let z = Cplx::cis(k as f64 * 0.39269908);
+            let z = Cplx::cis(k as f64 * core::f64::consts::FRAC_PI_8);
             assert!((z.abs() - 1.0).abs() < 1e-12);
         }
     }

@@ -78,8 +78,7 @@ impl PreambleDetector {
             .samples()
             .iter()
             .map(|&s| {
-                s * amplitude
-                    + Cplx::new(gaussian(rng) * noise_std, gaussian(rng) * noise_std)
+                s * amplitude + Cplx::new(gaussian(rng) * noise_std, gaussian(rng) * noise_std)
             })
             .collect()
     }

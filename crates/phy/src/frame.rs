@@ -108,6 +108,21 @@ impl FrameKind {
         }
     }
 
+    /// This kind's label in the trace-event vocabulary (the trace crate
+    /// sits below the PHY in the dependency order, so the mapping lives
+    /// here).
+    pub fn trace_label(&self) -> ffd2d_trace::FrameLabel {
+        match self {
+            FrameKind::Fire { .. } => ffd2d_trace::FrameLabel::Fire,
+            FrameKind::DiscoveryReply { .. } => ffd2d_trace::FrameLabel::DiscoveryReply,
+            FrameKind::Report { .. } => ffd2d_trace::FrameLabel::Report,
+            FrameKind::MergeCmd { .. } => ffd2d_trace::FrameLabel::MergeCmd,
+            FrameKind::HConnect { .. } => ffd2d_trace::FrameLabel::HConnect,
+            FrameKind::HAccept { .. } => ffd2d_trace::FrameLabel::HAccept,
+            FrameKind::NewFragment { .. } => ffd2d_trace::FrameLabel::NewFragment,
+        }
+    }
+
     /// Unicast destination, if this kind is addressed.
     pub fn unicast_to(&self) -> Option<DeviceId> {
         match *self {
@@ -326,7 +341,10 @@ mod tests {
 
     fn all_kinds() -> Vec<FrameKind> {
         vec![
-            FrameKind::Fire { fragment: 7, age: 3 },
+            FrameKind::Fire {
+                fragment: 7,
+                age: 3,
+            },
             FrameKind::DiscoveryReply { to: 3 },
             FrameKind::Report {
                 to: 1,
@@ -379,7 +397,11 @@ mod tests {
     #[test]
     fn unicast_targets() {
         assert_eq!(
-            FrameKind::Fire { fragment: 1, age: 0 }.unicast_to(),
+            FrameKind::Fire {
+                fragment: 1,
+                age: 0
+            }
+            .unicast_to(),
             None
         );
         assert_eq!(FrameKind::DiscoveryReply { to: 5 }.unicast_to(), Some(5));

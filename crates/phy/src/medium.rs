@@ -20,6 +20,7 @@
 use ffd2d_sim::counters::Counters;
 use ffd2d_sim::deployment::DeviceId;
 use ffd2d_sim::time::Slot;
+use ffd2d_trace::{NullSink, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 
 use crate::codec::RachCodec;
@@ -109,17 +110,49 @@ impl Medium {
         receivers: &[DeviceId],
         counters: &mut Counters,
     ) -> Vec<DeliveryReport> {
+        self.resolve_traced(
+            channel,
+            slot,
+            transmissions,
+            receivers,
+            counters,
+            &mut NullSink,
+        )
+    }
+
+    /// [`Medium::resolve`] with per-event tracing: every transmission,
+    /// decode and collision is reported to `sink`, plus one aggregate
+    /// below-threshold count per slot. With a disabled sink this
+    /// monomorphizes to exactly the untraced resolver.
+    pub fn resolve_traced<S: TraceSink>(
+        &self,
+        channel: &Channel<'_>,
+        slot: Slot,
+        transmissions: &[Transmission],
+        receivers: &[DeviceId],
+        counters: &mut Counters,
+        sink: &mut S,
+    ) -> Vec<DeliveryReport> {
         // Tally transmissions by codec.
         for tx in transmissions {
             match tx.codec() {
                 RachCodec::Rach1 => counters.rach1_tx += 1,
                 RachCodec::Rach2 => counters.rach2_tx += 1,
             }
+            if S::ENABLED {
+                sink.event(&TraceEvent::Tx {
+                    slot: slot.0,
+                    sender: tx.sender(),
+                    codec: tx.codec().trace_codec(),
+                    kind: tx.signal.kind.trace_label(),
+                });
+            }
         }
 
         let mut reports: Vec<DeliveryReport> = Vec::with_capacity(receivers.len());
         // Scratch: audible same-codec signals at the current receiver.
         let mut audible: Vec<(f64, &Transmission)> = Vec::new();
+        let mut below_threshold = 0u64;
 
         for &rx in receivers {
             let mut report = DeliveryReport::default();
@@ -137,30 +170,68 @@ impl Medium {
                         audible.push((sample.rx_power.get(), tx));
                     } else {
                         counters.rx_below_threshold += 1;
+                        below_threshold += 1;
                     }
                 }
                 match audible.len() {
                     0 => {}
                     1 => {
                         counters.rx_ok += 1;
+                        if S::ENABLED {
+                            sink.event(&TraceEvent::RxDecode {
+                                slot: slot.0,
+                                receiver: rx,
+                                sender: audible[0].1.sender(),
+                                codec: codec.trace_codec(),
+                                rx_dbm: audible[0].0,
+                            });
+                        }
                         report.decoded.push(audible[0].1.signal);
                     }
                     _ => {
                         // Capture check: strongest vs runner-up.
-                        audible
-                            .sort_by(|a, b| b.0.partial_cmp(&a.0).expect("power is never NaN"));
+                        audible.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("power is never NaN"));
                         let margin = audible[0].0 - audible[1].0;
                         if margin >= self.config.capture_margin.get() {
                             counters.rx_ok += 1;
                             counters.rx_collision += (audible.len() - 1) as u64;
+                            if S::ENABLED {
+                                sink.event(&TraceEvent::RxDecode {
+                                    slot: slot.0,
+                                    receiver: rx,
+                                    sender: audible[0].1.sender(),
+                                    codec: codec.trace_codec(),
+                                    rx_dbm: audible[0].0,
+                                });
+                                sink.event(&TraceEvent::RxCollision {
+                                    slot: slot.0,
+                                    receiver: rx,
+                                    codec: codec.trace_codec(),
+                                    signals: (audible.len() - 1) as u32,
+                                });
+                            }
                             report.decoded.push(audible[0].1.signal);
                         } else {
                             counters.rx_collision += audible.len() as u64;
+                            if S::ENABLED {
+                                sink.event(&TraceEvent::RxCollision {
+                                    slot: slot.0,
+                                    receiver: rx,
+                                    codec: codec.trace_codec(),
+                                    signals: audible.len() as u32,
+                                });
+                            }
                         }
                     }
                 }
             }
             reports.push(report);
+        }
+        if S::ENABLED && below_threshold > 0 {
+            sink.event(&TraceEvent::RxBelowThreshold {
+                slot: slot.0,
+                count: below_threshold,
+            });
         }
         reports
     }

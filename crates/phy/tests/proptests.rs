@@ -20,8 +20,11 @@ fn frame_kinds() -> impl Strategy<Value = FrameKind> {
                 weight
             }
         ),
-        (any::<u32>(), any::<u32>(), any::<u32>())
-            .prop_map(|(to, u, v)| FrameKind::MergeCmd { to, u, v }),
+        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(to, u, v)| FrameKind::MergeCmd {
+            to,
+            u,
+            v
+        }),
         (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
             |(to, fragment, fragment_size, head)| FrameKind::HConnect {
                 to,

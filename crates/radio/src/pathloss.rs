@@ -82,9 +82,7 @@ impl PathLoss {
                     40.0 + 40.0 * d.log10()
                 }
             }
-            PathLoss::LogDistance { pl0, exponent, r0 } => {
-                pl0 + 10.0 * exponent * (d / r0).log10()
-            }
+            PathLoss::LogDistance { pl0, exponent, r0 } => pl0 + 10.0 * exponent * (d / r0).log10(),
             PathLoss::FreeSpace { freq_ghz } => {
                 // FSPL(dB) = 20·log10(d_km) + 20·log10(f_MHz) + 32.44
                 32.44 + 20.0 * (d / 1000.0).log10() + 20.0 * (freq_ghz * 1000.0).log10()

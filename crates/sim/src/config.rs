@@ -124,11 +124,15 @@ mod tests {
     fn validate_catches_bad_configs() {
         assert!(SimConfig::default().validate().is_ok());
         assert!(SimConfig::with_devices(1).validate().is_err());
-        let mut c = SimConfig::default();
-        c.area_width = Meters(0.0);
+        let c = SimConfig {
+            area_width: Meters(0.0),
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SimConfig::default();
-        c.max_slots = SlotDuration::ZERO;
+        let c = SimConfig {
+            max_slots: SlotDuration::ZERO,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -56,14 +56,31 @@ impl Counters {
         }
     }
 
+    /// Fraction of reception attempts lost below the detection
+    /// threshold — the channel's share of the loss, as opposed to
+    /// [`Counters::collision_rate`]'s contention share (0 when no
+    /// attempts were made).
+    pub fn rx_loss_rate(&self) -> f64 {
+        let attempts = self.total_rx_attempts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.rx_below_threshold as f64 / attempts as f64
+        }
+    }
+
     /// Merge another tally into this one (used when aggregating trials).
+    /// Saturating: fleet-level aggregation across millions of trials
+    /// must clamp rather than wrap at the `u64` ceiling.
     pub fn merge(&mut self, other: &Counters) {
-        self.rach1_tx += other.rach1_tx;
-        self.rach2_tx += other.rach2_tx;
-        self.unicast_tx += other.unicast_tx;
-        self.rx_ok += other.rx_ok;
-        self.rx_collision += other.rx_collision;
-        self.rx_below_threshold += other.rx_below_threshold;
+        self.rach1_tx = self.rach1_tx.saturating_add(other.rach1_tx);
+        self.rach2_tx = self.rach2_tx.saturating_add(other.rach2_tx);
+        self.unicast_tx = self.unicast_tx.saturating_add(other.unicast_tx);
+        self.rx_ok = self.rx_ok.saturating_add(other.rx_ok);
+        self.rx_collision = self.rx_collision.saturating_add(other.rx_collision);
+        self.rx_below_threshold = self
+            .rx_below_threshold
+            .saturating_add(other.rx_below_threshold);
     }
 }
 
@@ -95,6 +112,33 @@ mod tests {
     #[test]
     fn collision_rate_handles_zero_attempts() {
         assert_eq!(Counters::new().collision_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = Counters {
+            rach1_tx: u64::MAX - 1,
+            ..Counters::new()
+        };
+        a += Counters {
+            rach1_tx: 10,
+            rx_ok: 3,
+            ..Counters::new()
+        };
+        assert_eq!(a.rach1_tx, u64::MAX);
+        assert_eq!(a.rx_ok, 3);
+    }
+
+    #[test]
+    fn loss_rates_partition_attempts() {
+        let c = Counters {
+            rx_ok: 30,
+            rx_collision: 10,
+            rx_below_threshold: 60,
+            ..Counters::new()
+        };
+        assert!((c.collision_rate() + c.rx_loss_rate() + 0.3 - 1.0).abs() < 1e-12);
+        assert_eq!(Counters::new().rx_loss_rate(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,656 @@
+//! Replayable JSONL event logs.
+//!
+//! One event per line, one JSON object per event, field order fixed by
+//! the encoder — so a trace is a pure function of `(scenario, seed)`
+//! and the determinism suite can assert *byte* identity. Floats are
+//! rendered with Rust's shortest round-trip formatting, which both
+//! sides of the round trip agree on exactly.
+//!
+//! The vendored `serde` is an inert API stub (nothing in the offline
+//! build serializes through it), so the encoding here is a small
+//! hand-rolled writer plus a matching single-line parser — enough for
+//! the event vocabulary, deliberately not a general JSON library.
+
+use std::io::Write;
+
+use crate::event::{Codec, FrameLabel, ProtoPhase, RejectReason, TraceEvent};
+use crate::sink::TraceSink;
+
+/// Encode one event as a single JSON line (no trailing newline).
+pub fn encode_event(ev: &TraceEvent) -> String {
+    let mut s = String::with_capacity(96);
+    s.push_str("{\"t\":\"");
+    s.push_str(ev.tag());
+    s.push('"');
+    let field_u = |s: &mut String, k: &str, v: u64| {
+        s.push_str(",\"");
+        s.push_str(k);
+        s.push_str("\":");
+        s.push_str(&v.to_string());
+    };
+    let field_f = |s: &mut String, k: &str, v: f64| {
+        s.push_str(",\"");
+        s.push_str(k);
+        s.push_str("\":");
+        // Shortest round-trip decimal; JSON has no Infinity/NaN, and no
+        // event field can produce them (phases and powers are finite),
+        // but guard anyway so a log line is always valid JSON.
+        if v.is_finite() {
+            s.push_str(&format!("{v:?}"));
+        } else {
+            s.push_str("null");
+        }
+    };
+    let field_s = |s: &mut String, k: &str, v: &str| {
+        s.push_str(",\"");
+        s.push_str(k);
+        s.push_str("\":\"");
+        s.push_str(v);
+        s.push('"');
+    };
+    let field_b = |s: &mut String, k: &str, v: bool| {
+        s.push_str(",\"");
+        s.push_str(k);
+        s.push_str("\":");
+        s.push_str(if v { "true" } else { "false" });
+    };
+    match *ev {
+        TraceEvent::PhaseEnter { slot, phase } => {
+            field_u(&mut s, "slot", slot);
+            field_s(&mut s, "phase", phase.name());
+        }
+        TraceEvent::RoundStart {
+            slot,
+            round,
+            budget,
+            fragments,
+        } => {
+            field_u(&mut s, "slot", slot);
+            field_u(&mut s, "round", round as u64);
+            field_u(&mut s, "budget", budget);
+            field_u(&mut s, "fragments", fragments as u64);
+        }
+        TraceEvent::Tx {
+            slot,
+            sender,
+            codec,
+            kind,
+        } => {
+            field_u(&mut s, "slot", slot);
+            field_u(&mut s, "sender", sender as u64);
+            field_s(&mut s, "codec", codec.name());
+            field_s(&mut s, "kind", kind.name());
+        }
+        TraceEvent::RxDecode {
+            slot,
+            receiver,
+            sender,
+            codec,
+            rx_dbm,
+        } => {
+            field_u(&mut s, "slot", slot);
+            field_u(&mut s, "receiver", receiver as u64);
+            field_u(&mut s, "sender", sender as u64);
+            field_s(&mut s, "codec", codec.name());
+            field_f(&mut s, "rx_dbm", rx_dbm);
+        }
+        TraceEvent::RxCollision {
+            slot,
+            receiver,
+            codec,
+            signals,
+        } => {
+            field_u(&mut s, "slot", slot);
+            field_u(&mut s, "receiver", receiver as u64);
+            field_s(&mut s, "codec", codec.name());
+            field_u(&mut s, "signals", signals as u64);
+        }
+        TraceEvent::RxBelowThreshold { slot, count } => {
+            field_u(&mut s, "slot", slot);
+            field_u(&mut s, "count", count);
+        }
+        TraceEvent::PhaseAdjust {
+            slot,
+            device,
+            sender,
+            before,
+            after,
+            absorbed,
+        } => {
+            field_u(&mut s, "slot", slot);
+            field_u(&mut s, "device", device as u64);
+            field_u(&mut s, "sender", sender as u64);
+            field_f(&mut s, "before", before);
+            field_f(&mut s, "after", after);
+            field_b(&mut s, "absorbed", absorbed);
+        }
+        TraceEvent::MergeRequest {
+            slot,
+            round,
+            requester,
+            target,
+            req_fragment,
+        } => {
+            field_u(&mut s, "slot", slot);
+            field_u(&mut s, "round", round as u64);
+            field_u(&mut s, "requester", requester as u64);
+            field_u(&mut s, "target", target as u64);
+            field_u(&mut s, "req_fragment", req_fragment as u64);
+        }
+        TraceEvent::MergeAccept {
+            slot,
+            round,
+            device,
+            peer,
+        } => {
+            field_u(&mut s, "slot", slot);
+            field_u(&mut s, "round", round as u64);
+            field_u(&mut s, "device", device as u64);
+            field_u(&mut s, "peer", peer as u64);
+        }
+        TraceEvent::MergeReject {
+            slot,
+            round,
+            device,
+            requester,
+            reason,
+        } => {
+            field_u(&mut s, "slot", slot);
+            field_u(&mut s, "round", round as u64);
+            field_u(&mut s, "device", device as u64);
+            field_u(&mut s, "requester", requester as u64);
+            field_s(&mut s, "reason", reason.name());
+        }
+        TraceEvent::FragmentCommit {
+            slot,
+            round,
+            device,
+            peer,
+            survivor,
+            old_head,
+        } => {
+            field_u(&mut s, "slot", slot);
+            field_u(&mut s, "round", round as u64);
+            field_u(&mut s, "device", device as u64);
+            field_u(&mut s, "peer", peer as u64);
+            field_u(&mut s, "survivor", survivor as u64);
+            field_u(&mut s, "old_head", old_head as u64);
+        }
+        TraceEvent::SlotStats {
+            slot,
+            fragments,
+            phase_spread,
+            discovered_links,
+            ground_truth_links,
+        } => {
+            field_u(&mut s, "slot", slot);
+            field_u(&mut s, "fragments", fragments as u64);
+            field_f(&mut s, "phase_spread", phase_spread);
+            field_u(&mut s, "discovered_links", discovered_links);
+            field_u(&mut s, "ground_truth_links", ground_truth_links);
+        }
+        TraceEvent::Converged { slot } => {
+            field_u(&mut s, "slot", slot);
+        }
+        TraceEvent::RunEnd { slot, converged } => {
+            field_u(&mut s, "slot", slot);
+            field_b(&mut s, "converged", converged);
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// A parsed scalar JSON value (the only shapes the encoder emits).
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+/// Minimal single-object parser for lines produced by [`encode_event`]:
+/// flat objects of string/number/bool/null fields. Returns `None` on
+/// anything malformed.
+fn parse_object(line: &str) -> Option<Vec<(String, Value)>> {
+    let b = line.trim().as_bytes();
+    let mut i = 0usize;
+    let eat = |b: &[u8], i: &mut usize, c: u8| -> Option<()> {
+        if b.get(*i) == Some(&c) {
+            *i += 1;
+            Some(())
+        } else {
+            None
+        }
+    };
+    let parse_string = |b: &[u8], i: &mut usize| -> Option<String> {
+        eat(b, i, b'"')?;
+        let start = *i;
+        while *i < b.len() && b[*i] != b'"' {
+            // The encoder never emits escapes (names are ASCII
+            // identifiers); reject them rather than mis-decode.
+            if b[*i] == b'\\' {
+                return None;
+            }
+            *i += 1;
+        }
+        let s = std::str::from_utf8(&b[start..*i]).ok()?.to_string();
+        eat(b, i, b'"')?;
+        Some(s)
+    };
+    eat(b, &mut i, b'{')?;
+    let mut fields = Vec::new();
+    loop {
+        let key = parse_string(b, &mut i)?;
+        eat(b, &mut i, b':')?;
+        let value = match b.get(i)? {
+            b'"' => Value::Str(parse_string(b, &mut i)?),
+            b't' => {
+                i = i.checked_add(4)?;
+                if b.get(i - 4..i)? != b"true" {
+                    return None;
+                }
+                Value::Bool(true)
+            }
+            b'f' => {
+                i = i.checked_add(5)?;
+                if b.get(i - 5..i)? != b"false" {
+                    return None;
+                }
+                Value::Bool(false)
+            }
+            b'n' => {
+                i = i.checked_add(4)?;
+                if b.get(i - 4..i)? != b"null" {
+                    return None;
+                }
+                Value::Null
+            }
+            _ => {
+                let start = i;
+                while i < b.len() && !matches!(b[i], b',' | b'}') {
+                    i += 1;
+                }
+                let s = std::str::from_utf8(&b[start..i]).ok()?;
+                Value::Num(s.trim().parse().ok()?)
+            }
+        };
+        fields.push((key, value));
+        match b.get(i)? {
+            b',' => i += 1,
+            b'}' => {
+                i += 1;
+                break;
+            }
+            _ => return None,
+        }
+    }
+    if i == b.len() {
+        Some(fields)
+    } else {
+        None
+    }
+}
+
+struct Fields(Vec<(String, Value)>);
+
+impl Fields {
+    fn str(&self, k: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(n, _)| n == k)
+            .and_then(|(_, v)| match v {
+                Value::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+    }
+    fn f64(&self, k: &str) -> Option<f64> {
+        self.0
+            .iter()
+            .find(|(n, _)| n == k)
+            .and_then(|(_, v)| match v {
+                Value::Num(x) => Some(*x),
+                _ => None,
+            })
+    }
+    fn u64(&self, k: &str) -> Option<u64> {
+        let x = self.f64(k)?;
+        if x >= 0.0 && x.fract() == 0.0 {
+            Some(x as u64)
+        } else {
+            None
+        }
+    }
+    fn u32(&self, k: &str) -> Option<u32> {
+        u32::try_from(self.u64(k)?).ok()
+    }
+    fn bool(&self, k: &str) -> Option<bool> {
+        self.0
+            .iter()
+            .find(|(n, _)| n == k)
+            .and_then(|(_, v)| match v {
+                Value::Bool(x) => Some(*x),
+                _ => None,
+            })
+    }
+}
+
+/// Parse one JSONL line back into a [`TraceEvent`]. Returns `None` on
+/// malformed input or an unknown event tag — callers decide whether to
+/// skip or abort.
+pub fn parse_event(line: &str) -> Option<TraceEvent> {
+    let f = Fields(parse_object(line)?);
+    let ev = match f.str("t")? {
+        "phase_enter" => TraceEvent::PhaseEnter {
+            slot: f.u64("slot")?,
+            phase: ProtoPhase::from_name(f.str("phase")?)?,
+        },
+        "round_start" => TraceEvent::RoundStart {
+            slot: f.u64("slot")?,
+            round: f.u32("round")?,
+            budget: f.u64("budget")?,
+            fragments: f.u32("fragments")?,
+        },
+        "tx" => TraceEvent::Tx {
+            slot: f.u64("slot")?,
+            sender: f.u32("sender")?,
+            codec: Codec::from_name(f.str("codec")?)?,
+            kind: FrameLabel::from_name(f.str("kind")?)?,
+        },
+        "rx_decode" => TraceEvent::RxDecode {
+            slot: f.u64("slot")?,
+            receiver: f.u32("receiver")?,
+            sender: f.u32("sender")?,
+            codec: Codec::from_name(f.str("codec")?)?,
+            rx_dbm: f.f64("rx_dbm")?,
+        },
+        "rx_collision" => TraceEvent::RxCollision {
+            slot: f.u64("slot")?,
+            receiver: f.u32("receiver")?,
+            codec: Codec::from_name(f.str("codec")?)?,
+            signals: f.u32("signals")?,
+        },
+        "rx_below_threshold" => TraceEvent::RxBelowThreshold {
+            slot: f.u64("slot")?,
+            count: f.u64("count")?,
+        },
+        "phase_adjust" => TraceEvent::PhaseAdjust {
+            slot: f.u64("slot")?,
+            device: f.u32("device")?,
+            sender: f.u32("sender")?,
+            before: f.f64("before")?,
+            after: f.f64("after")?,
+            absorbed: f.bool("absorbed")?,
+        },
+        "merge_request" => TraceEvent::MergeRequest {
+            slot: f.u64("slot")?,
+            round: f.u32("round")?,
+            requester: f.u32("requester")?,
+            target: f.u32("target")?,
+            req_fragment: f.u32("req_fragment")?,
+        },
+        "merge_accept" => TraceEvent::MergeAccept {
+            slot: f.u64("slot")?,
+            round: f.u32("round")?,
+            device: f.u32("device")?,
+            peer: f.u32("peer")?,
+        },
+        "merge_reject" => TraceEvent::MergeReject {
+            slot: f.u64("slot")?,
+            round: f.u32("round")?,
+            device: f.u32("device")?,
+            requester: f.u32("requester")?,
+            reason: RejectReason::from_name(f.str("reason")?)?,
+        },
+        "fragment_commit" => TraceEvent::FragmentCommit {
+            slot: f.u64("slot")?,
+            round: f.u32("round")?,
+            device: f.u32("device")?,
+            peer: f.u32("peer")?,
+            survivor: f.u32("survivor")?,
+            old_head: f.u32("old_head")?,
+        },
+        "slot_stats" => TraceEvent::SlotStats {
+            slot: f.u64("slot")?,
+            fragments: f.u32("fragments")?,
+            phase_spread: f.f64("phase_spread")?,
+            discovered_links: f.u64("discovered_links")?,
+            ground_truth_links: f.u64("ground_truth_links")?,
+        },
+        "converged" => TraceEvent::Converged {
+            slot: f.u64("slot")?,
+        },
+        "run_end" => TraceEvent::RunEnd {
+            slot: f.u64("slot")?,
+            converged: f.bool("converged")?,
+        },
+        _ => return None,
+    };
+    Some(ev)
+}
+
+/// A sink writing one JSON line per event through any `Write`.
+///
+/// Wrap files in a `BufWriter` — the sink writes line by line. Errors
+/// are sticky and silent during the run (a sink must not perturb the
+/// protocol); check [`JsonlSink::io_error`] after [`TraceSink::finish`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    error: Option<std::io::Error>,
+    events: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink writing to `out`.
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink {
+            out,
+            error: None,
+            events: 0,
+        }
+    }
+
+    /// Events written so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The first I/O error hit, if any (writes stop after it).
+    pub fn io_error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Unwrap the writer (flushing first).
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn event(&mut self, ev: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = encode_event(ev);
+        if let Err(e) = self
+            .out
+            .write_all(line.as_bytes())
+            .and_then(|_| self.out.write_all(b"\n"))
+        {
+            self.error = Some(e);
+            return;
+        }
+        self.events += 1;
+    }
+
+    fn finish(&mut self) {
+        if let Err(e) = self.out.flush() {
+            self.error.get_or_insert(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::PhaseEnter {
+                slot: 0,
+                phase: ProtoPhase::Discovery,
+            },
+            TraceEvent::RoundStart {
+                slot: 300,
+                round: 1,
+                budget: 180,
+                fragments: 50,
+            },
+            TraceEvent::Tx {
+                slot: 301,
+                sender: 3,
+                codec: Codec::Rach2,
+                kind: FrameLabel::HConnect,
+            },
+            TraceEvent::RxDecode {
+                slot: 301,
+                receiver: 9,
+                sender: 3,
+                codec: Codec::Rach2,
+                rx_dbm: -87.52309,
+            },
+            TraceEvent::RxCollision {
+                slot: 302,
+                receiver: 4,
+                codec: Codec::Rach1,
+                signals: 3,
+            },
+            TraceEvent::RxBelowThreshold {
+                slot: 302,
+                count: 91,
+            },
+            TraceEvent::PhaseAdjust {
+                slot: 303,
+                device: 4,
+                sender: 8,
+                before: 0.25,
+                after: 0.75,
+                absorbed: false,
+            },
+            TraceEvent::MergeRequest {
+                slot: 304,
+                round: 1,
+                requester: 3,
+                target: 9,
+                req_fragment: 2,
+            },
+            TraceEvent::MergeAccept {
+                slot: 305,
+                round: 1,
+                device: 9,
+                peer: 3,
+            },
+            TraceEvent::MergeReject {
+                slot: 306,
+                round: 1,
+                device: 0,
+                requester: 3,
+                reason: RejectReason::GrantDenied,
+            },
+            TraceEvent::FragmentCommit {
+                slot: 307,
+                round: 1,
+                device: 3,
+                peer: 9,
+                survivor: 0,
+                old_head: 2,
+            },
+            TraceEvent::SlotStats {
+                slot: 308,
+                fragments: 12,
+                phase_spread: 0.4406,
+                discovered_links: 130,
+                ground_truth_links: 244,
+            },
+            TraceEvent::Converged { slot: 5000 },
+            TraceEvent::RunEnd {
+                slot: 5000,
+                converged: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_parse_round_trips_every_kind() {
+        for ev in all_events() {
+            let line = encode_event(&ev);
+            let back = parse_event(&line);
+            assert_eq!(back, Some(ev), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            "not json",
+            "{\"t\":\"unknown_kind\",\"slot\":1}",
+            "{\"t\":\"converged\"}",                          // missing slot
+            "{\"t\":\"converged\",\"slot\":-3}",              // negative slot
+            "{\"t\":\"converged\",\"slot\":1} tail",          // trailing garbage
+            "{\"t\":\"run_end\",\"slot\":1,\"converged\":2}", // wrong type
+        ] {
+            assert_eq!(parse_event(bad), None, "input: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        let probe = [-95.000001, 1.0 / 3.0, 0.1 + 0.2, f64::MIN_POSITIVE];
+        for &x in &probe {
+            let ev = TraceEvent::RxDecode {
+                slot: 1,
+                receiver: 0,
+                sender: 1,
+                codec: Codec::Rach1,
+                rx_dbm: x,
+            };
+            match parse_event(&encode_event(&ev)) {
+                Some(TraceEvent::RxDecode { rx_dbm, .. }) => {
+                    assert_eq!(rx_dbm.to_bits(), x.to_bits())
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sink_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for ev in all_events() {
+            sink.event(&ev);
+        }
+        sink.finish();
+        assert!(sink.io_error().is_none());
+        assert_eq!(sink.events(), all_events().len() as u64);
+        let buf = sink.into_inner();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), all_events().len());
+        for (line, ev) in lines.iter().zip(all_events()) {
+            assert_eq!(parse_event(line), Some(ev));
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        for ev in all_events() {
+            assert_eq!(encode_event(&ev), encode_event(&ev));
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Per-slot timeline aggregation.
+//!
+//! [`TimelineSink`] folds the event stream into one row per slot: the
+//! population summary the engine emits ([`TraceEvent::SlotStats`]) plus
+//! tallies of that slot's transmissions and reception outcomes. The
+//! result is the convergence-dynamics view the paper's aggregate
+//! figures cannot show — how fragment count, sync error, discovery
+//! completeness and collision rate evolve over a run — exported as CSV
+//! for `results/`.
+
+use crate::event::{Codec, TraceEvent};
+use crate::sink::TraceSink;
+
+/// One slot's aggregated view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineRow {
+    /// The slot.
+    pub slot: u64,
+    /// Distinct fragment labels (0 until the first `SlotStats`).
+    pub fragments: u32,
+    /// Sync error: smallest covering arc of all phases, in turns.
+    pub phase_spread: f64,
+    /// Directed neighbour links discovered so far.
+    pub discovered_links: u64,
+    /// Directed ground-truth audible links.
+    pub ground_truth_links: u64,
+    /// RACH1 broadcasts this slot.
+    pub rach1_tx: u64,
+    /// RACH2 broadcasts this slot.
+    pub rach2_tx: u64,
+    /// Successful decodes this slot.
+    pub rx_ok: u64,
+    /// Receptions lost to collision this slot.
+    pub rx_collision: u64,
+    /// Receptions provably below threshold this slot.
+    pub rx_below_threshold: u64,
+}
+
+impl TimelineRow {
+    fn new(slot: u64) -> TimelineRow {
+        TimelineRow {
+            slot,
+            fragments: 0,
+            phase_spread: f64::NAN,
+            discovered_links: 0,
+            ground_truth_links: 0,
+            rach1_tx: 0,
+            rach2_tx: 0,
+            rx_ok: 0,
+            rx_collision: 0,
+            rx_below_threshold: 0,
+        }
+    }
+
+    /// Fraction of ground-truth links discovered (1.0 when none exist).
+    pub fn discovery_completeness(&self) -> f64 {
+        if self.ground_truth_links == 0 {
+            1.0
+        } else {
+            self.discovered_links as f64 / self.ground_truth_links as f64
+        }
+    }
+
+    /// Fraction of this slot's reception attempts lost to collision
+    /// (0.0 when the slot was silent).
+    pub fn collision_rate(&self) -> f64 {
+        let attempts = self.rx_ok + self.rx_collision + self.rx_below_threshold;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.rx_collision as f64 / attempts as f64
+        }
+    }
+}
+
+/// Folds events into one [`TimelineRow`] per slot (rows appear in slot
+/// order; a slot with no events gets no row).
+#[derive(Debug, Clone, Default)]
+pub struct TimelineSink {
+    rows: Vec<TimelineRow>,
+}
+
+impl TimelineSink {
+    /// An empty timeline.
+    pub fn new() -> TimelineSink {
+        TimelineSink::default()
+    }
+
+    /// The aggregated rows, in slot order.
+    pub fn rows(&self) -> &[TimelineRow] {
+        &self.rows
+    }
+
+    fn row_mut(&mut self, slot: u64) -> &mut TimelineRow {
+        // Events arrive in slot order; a backwards jump would indicate
+        // interleaved runs, which one sink instance does not support.
+        match self.rows.last() {
+            Some(last) if last.slot == slot => {}
+            _ => self.rows.push(TimelineRow::new(slot)),
+        }
+        self.rows.last_mut().expect("just pushed")
+    }
+
+    /// First slot at which discovery completeness reached `x` (0..=1),
+    /// if it ever did.
+    pub fn slot_reaching_completeness(&self, x: f64) -> Option<u64> {
+        self.rows
+            .iter()
+            .find(|r| r.ground_truth_links > 0 && r.discovery_completeness() >= x)
+            .map(|r| r.slot)
+    }
+
+    /// Render the timeline as CSV (header + one row per slot).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(64 * (self.rows.len() + 1));
+        out.push_str(
+            "slot,fragments,phase_spread,discovered_links,ground_truth_links,\
+             discovery_completeness,rach1_tx,rach2_tx,rx_ok,rx_collision,\
+             rx_below_threshold,collision_rate\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.slot,
+                r.fragments,
+                r.phase_spread,
+                r.discovered_links,
+                r.ground_truth_links,
+                r.discovery_completeness(),
+                r.rach1_tx,
+                r.rach2_tx,
+                r.rx_ok,
+                r.rx_collision,
+                r.rx_below_threshold,
+                r.collision_rate(),
+            ));
+        }
+        out
+    }
+}
+
+impl TraceSink for TimelineSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::SlotStats {
+                slot,
+                fragments,
+                phase_spread,
+                discovered_links,
+                ground_truth_links,
+            } => {
+                let row = self.row_mut(slot);
+                row.fragments = fragments;
+                row.phase_spread = phase_spread;
+                row.discovered_links = discovered_links;
+                row.ground_truth_links = ground_truth_links;
+            }
+            TraceEvent::Tx { slot, codec, .. } => {
+                let row = self.row_mut(slot);
+                match codec {
+                    Codec::Rach1 => row.rach1_tx += 1,
+                    Codec::Rach2 => row.rach2_tx += 1,
+                }
+            }
+            TraceEvent::RxDecode { slot, .. } => self.row_mut(slot).rx_ok += 1,
+            TraceEvent::RxCollision { slot, signals, .. } => {
+                self.row_mut(slot).rx_collision += signals as u64
+            }
+            TraceEvent::RxBelowThreshold { slot, count } => {
+                self.row_mut(slot).rx_below_threshold += count
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_aggregate_per_slot() {
+        let mut t = TimelineSink::new();
+        t.event(&TraceEvent::Tx {
+            slot: 5,
+            sender: 1,
+            codec: Codec::Rach1,
+            kind: crate::FrameLabel::Fire,
+        });
+        t.event(&TraceEvent::RxDecode {
+            slot: 5,
+            receiver: 2,
+            sender: 1,
+            codec: Codec::Rach1,
+            rx_dbm: -80.0,
+        });
+        t.event(&TraceEvent::RxCollision {
+            slot: 5,
+            receiver: 3,
+            codec: Codec::Rach1,
+            signals: 2,
+        });
+        t.event(&TraceEvent::SlotStats {
+            slot: 5,
+            fragments: 7,
+            phase_spread: 0.5,
+            discovered_links: 10,
+            ground_truth_links: 40,
+        });
+        t.event(&TraceEvent::SlotStats {
+            slot: 6,
+            fragments: 6,
+            phase_spread: 0.4,
+            discovered_links: 12,
+            ground_truth_links: 40,
+        });
+        assert_eq!(t.rows().len(), 2);
+        let r = t.rows()[0];
+        assert_eq!(r.slot, 5);
+        assert_eq!(r.fragments, 7);
+        assert_eq!(r.rach1_tx, 1);
+        assert_eq!(r.rx_ok, 1);
+        assert_eq!(r.rx_collision, 2);
+        assert!((r.collision_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.discovery_completeness() - 0.25).abs() < 1e-12);
+        assert_eq!(t.rows()[1].slot, 6);
+    }
+
+    #[test]
+    fn completeness_threshold_lookup() {
+        let mut t = TimelineSink::new();
+        for (slot, links) in [(0u64, 0u64), (10, 20), (20, 36), (30, 40)] {
+            t.event(&TraceEvent::SlotStats {
+                slot,
+                fragments: 1,
+                phase_spread: 0.0,
+                discovered_links: links,
+                ground_truth_links: 40,
+            });
+        }
+        assert_eq!(t.slot_reaching_completeness(0.5), Some(10));
+        assert_eq!(t.slot_reaching_completeness(0.9), Some(20));
+        assert_eq!(t.slot_reaching_completeness(1.0), Some(30));
+        assert_eq!(TimelineSink::new().slot_reaching_completeness(0.5), None);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = TimelineSink::new();
+        t.event(&TraceEvent::SlotStats {
+            slot: 1,
+            fragments: 3,
+            phase_spread: 0.25,
+            discovered_links: 4,
+            ground_truth_links: 8,
+        });
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("slot,fragments,phase_spread"));
+        assert!(lines[1].starts_with("1,3,0.25,4,8,0.5,"));
+    }
+}

@@ -40,7 +40,9 @@ fn main() {
             .iter()
             .zip(&measured)
             .map(|(a, &m)| {
-                let d = ((a[0] - p[0]).powi(2) + (a[1] - p[1]).powi(2)).sqrt().max(0.1);
+                let d = ((a[0] - p[0]).powi(2) + (a[1] - p[1]).powi(2))
+                    .sqrt()
+                    .max(0.1);
                 (model.loss(Meters(d)).get() - m).powi(2)
             })
             .sum::<f64>()
@@ -50,7 +52,10 @@ fn main() {
         iterations: 80,
         ..FfaConfig::default()
     };
-    for (name, ranked) in [("basic O(n^2) FFA", false), ("ordered O(n log n) FFA", true)] {
+    for (name, ranked) in [
+        ("basic O(n^2) FFA", false),
+        ("ordered O(n log n) FFA", true),
+    ] {
         let mut pop_rng = StreamRng::new(0xF1_EF, 1, StreamId::Experiment);
         let mut pop: Vec<[f64; 2]> = (0..120)
             .map(|_| [pop_rng.gen_range(0.0..100.0), pop_rng.gen_range(0.0..100.0)])
@@ -69,5 +74,8 @@ fn main() {
             result.best_position[0], result.best_position[1], result.comparisons, result.moves
         );
     }
-    println!("true position          ({:5.1}, {:5.1})", truth[0], truth[1]);
+    println!(
+        "true position          ({:5.1}, {:5.1})",
+        truth[0], truth[1]
+    );
 }

@@ -60,11 +60,8 @@ fn main() {
             )
         })
         .collect();
-    let channel = ffd2d::radio::channel::Channel::new(
-        &deployment,
-        cfg.channel.clone(),
-        cfg.sim.seed,
-    );
+    let channel =
+        ffd2d::radio::channel::Channel::new(&deployment, cfg.channel.clone(), cfg.sim.seed);
     for tx in 0..n as u32 {
         for rx in 0..n as u32 {
             if tx == rx {
@@ -110,9 +107,7 @@ fn main() {
             .collect();
         nearest.sort_by(|a, b| a.1.total_cmp(&b.1));
         for (peer, est, actual) in nearest.into_iter().take(3) {
-            println!(
-                "    peer {peer}: RSSI-estimated {est:.1} m away (actually {actual:.1} m)"
-            );
+            println!("    peer {peer}: RSSI-estimated {est:.1} m away (actually {actual:.1} m)");
         }
     }
     let _ = ServiceClass::KEEP_ALIVE; // (documents the keep-alive class)

@@ -31,7 +31,10 @@ fn main() {
     let describe = |name: &str, out: &ffd2d::core::RunOutcome| {
         let time = match out.convergence_time {
             Some(t) => format!("{} ms", t.as_millis()),
-            None => format!(">{} ms (did not converge)", scenario.sim.max_slots.as_millis()),
+            None => format!(
+                ">{} ms (did not converge)",
+                scenario.sim.max_slots.as_millis()
+            ),
         };
         println!(
             "  {name:<4} convergence: {time:<28} messages: {:>8}  collision rate: {:>5.1}%",
@@ -48,9 +51,7 @@ fn main() {
             st.tree_edges.len(),
             st.merge_rounds
         );
-        println!(
-            "the crowd is slot-synchronized and ready for D2D offload scheduling."
-        );
+        println!("the crowd is slot-synchronized and ready for D2D offload scheduling.");
     }
     if !fst.converged() && st.converged() {
         println!(

@@ -54,3 +54,4 @@ pub use ffd2d_parallel as parallel;
 pub use ffd2d_phy as phy;
 pub use ffd2d_radio as radio;
 pub use ffd2d_sim as sim;
+pub use ffd2d_trace as trace;

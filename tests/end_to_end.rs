@@ -28,7 +28,10 @@ fn st_full_stack_converges_and_builds_a_valid_tree() {
         .iter()
         .map(|&(u, v)| Edge::new(u, v, W::new(0.0)))
         .collect();
-    assert!(is_spanning_tree(40, &edges), "edges are not a spanning tree");
+    assert!(
+        is_spanning_tree(40, &edges),
+        "edges are not a spanning tree"
+    );
 
     // Every accepted tree edge must be a usable radio link: its mean
     // power should at least be near the detection threshold (marginal

@@ -56,8 +56,7 @@ fn message_counters_are_internally_consistent() {
 #[test]
 fn converged_runs_have_spanning_trees_on_connected_worlds() {
     for (out, world) in outcomes(30) {
-        if out.converged() && ffd2d::graph::connectivity::is_connected(world.proximity_graph())
-        {
+        if out.converged() && ffd2d::graph::connectivity::is_connected(world.proximity_graph()) {
             assert_eq!(
                 out.tree_edges.len(),
                 out.n_devices - 1,

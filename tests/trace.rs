@@ -1,0 +1,119 @@
+//! Tracing guarantees: observation never perturbs the simulation, and
+//! the JSONL logs are deterministic, replayable artefacts.
+//!
+//! * A traced run's [`RunOutcome`] is bit-identical to an untraced one
+//!   (tracing consumes no randomness and touches no protocol state).
+//! * Same `(scenario, seed)` ⇒ byte-identical JSONL logs.
+//! * Every emitted line parses back, and re-encoding reproduces the
+//!   exact bytes (the log is a lossless wire format).
+//! * The per-slot timeline tallies agree with the run's [`Counters`] —
+//!   the events are a complete account of the medium's bookkeeping.
+
+use ffd2d::baseline::FstProtocol;
+use ffd2d::core::{ScenarioConfig, StProtocol};
+use ffd2d::sim::time::SlotDuration;
+use ffd2d::trace::{
+    encode_event, parse_event, CountingSink, JsonlSink, NullSink, TeeSink, TimelineSink,
+};
+
+fn scenario(n: usize, seed: u64) -> ScenarioConfig {
+    ScenarioConfig::table1(n)
+        .seeded(seed)
+        .with_max_slots(SlotDuration(30_000))
+}
+
+fn st_jsonl(cfg: &ScenarioConfig) -> Vec<u8> {
+    let mut sink = JsonlSink::new(Vec::new());
+    StProtocol::run_traced(cfg, &mut sink);
+    assert!(sink.io_error().is_none());
+    sink.into_inner()
+}
+
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    for n in [50, 200] {
+        let cfg = scenario(n, 11);
+        let untraced = StProtocol::run(&cfg);
+        let null = StProtocol::run_traced(&cfg, &mut NullSink);
+        let mut counting = CountingSink::new();
+        let counted = StProtocol::run_traced(&cfg, &mut counting);
+        assert_eq!(untraced, null, "NullSink perturbed the ST run at n={n}");
+        assert_eq!(
+            untraced, counted,
+            "CountingSink perturbed the ST run at n={n}"
+        );
+        assert!(counting.total() > 0, "no events at n={n}");
+
+        let fst_untraced = FstProtocol::run(&cfg);
+        let fst_counted = FstProtocol::run_traced(&cfg, &mut CountingSink::new());
+        assert_eq!(fst_untraced, fst_counted, "tracing perturbed FST at n={n}");
+    }
+}
+
+#[test]
+fn same_seed_gives_byte_identical_jsonl() {
+    let cfg = scenario(50, 23);
+    assert_eq!(st_jsonl(&cfg), st_jsonl(&cfg));
+
+    let fst = |cfg: &ScenarioConfig| {
+        let mut sink = JsonlSink::new(Vec::new());
+        FstProtocol::run_traced(cfg, &mut sink);
+        sink.into_inner()
+    };
+    assert_eq!(fst(&cfg), fst(&cfg));
+
+    // And a different seed actually changes the log.
+    assert_ne!(st_jsonl(&cfg), st_jsonl(&scenario(50, 24)));
+}
+
+#[test]
+fn jsonl_log_round_trips_losslessly() {
+    let log = st_jsonl(&scenario(30, 5));
+    let text = String::from_utf8(log).expect("JSONL is UTF-8");
+    let mut lines = 0u64;
+    for line in text.lines() {
+        let ev = parse_event(line).unwrap_or_else(|| panic!("unparseable line: {line}"));
+        assert_eq!(encode_event(&ev), line, "re-encode changed the bytes");
+        lines += 1;
+    }
+    assert!(lines > 100, "suspiciously short log: {lines} lines");
+}
+
+#[test]
+fn timeline_tallies_match_run_counters() {
+    let cfg = scenario(40, 9);
+    let mut timeline = TimelineSink::new();
+    let out = StProtocol::run_traced(&cfg, &mut timeline);
+    let rows = timeline.rows();
+    assert!(!rows.is_empty());
+
+    let sum = |f: fn(&ffd2d::trace::TimelineRow) -> u64| rows.iter().map(f).sum::<u64>();
+    assert_eq!(sum(|r| r.rach1_tx), out.counters.rach1_tx);
+    assert_eq!(sum(|r| r.rach2_tx), out.counters.rach2_tx);
+    assert_eq!(sum(|r| r.rx_ok), out.counters.rx_ok);
+    assert_eq!(sum(|r| r.rx_collision), out.counters.rx_collision);
+    assert_eq!(
+        sum(|r| r.rx_below_threshold),
+        out.counters.rx_below_threshold
+    );
+
+    // The final row reflects the converged population.
+    let last = rows[rows.len() - 1];
+    assert!(out.converged());
+    assert_eq!(last.fragments, 1);
+    assert_eq!(last.ground_truth_links, out.ground_truth_links);
+}
+
+#[test]
+fn tee_preserves_both_branches() {
+    let cfg = scenario(25, 3);
+    let mut jsonl = JsonlSink::new(Vec::new());
+    let mut counting = CountingSink::new();
+    StProtocol::run_traced(&cfg, &mut TeeSink(&mut jsonl, &mut counting));
+    assert_eq!(jsonl.events(), counting.total());
+    assert_eq!(
+        st_jsonl(&cfg),
+        jsonl.into_inner(),
+        "tee changed the JSONL bytes"
+    );
+}

@@ -79,10 +79,7 @@ fn medium_is_agnostic_to_an_encode_decode_pass() {
     let medium = Medium::default();
     let receivers = [0u32, 1, 2];
 
-    let direct: Vec<Transmission> = engine_frames()
-        .into_iter()
-        .map(Transmission::new)
-        .collect();
+    let direct: Vec<Transmission> = engine_frames().into_iter().map(Transmission::new).collect();
     let reencoded: Vec<Transmission> = engine_frames()
         .into_iter()
         .map(|s| Transmission::new(ProximitySignal::decode(s.encode()).unwrap()))

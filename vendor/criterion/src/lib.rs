@@ -41,7 +41,7 @@ impl Default for Criterion {
 
 impl Criterion {
     fn matches(&self, id: &str) -> bool {
-        self.filter.as_deref().map_or(true, |f| id.contains(f))
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
     }
 
     fn measure(&self, id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {

@@ -290,7 +290,11 @@ mod tests {
     #[test]
     fn union_picks_every_arm() {
         let mut r = TestRunner::new(3);
-        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed(), Just(3u8).boxed()]);
+        let u = Union::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
         let mut seen = [false; 4];
         for _ in 0..200 {
             seen[u.new_value(&mut r) as usize] = true;
