@@ -9,14 +9,24 @@
 //! fires of partially-synchronized groups collide and the capture
 //! margin decides who is heard. This is exactly the scalability wall
 //! the paper's Figs. 3–4 report for FST.
+//!
+//! Like the ST engine, the loop runs in either execution mode of
+//! [`EngineMode`]: stepped (every slot materialized) or event-driven (a
+//! wake queue of fire slots, staggered-transmission deadlines and
+//! convergence probes decides which slots to materialize, and the idle
+//! stretches are fast-forwarded). Outcomes are bit-identical either way
+//! (`tests/engine_equivalence.rs`).
 
 use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use ffd2d_core::device::{CouplingMode, Device};
 use ffd2d_core::outcome::RunOutcome;
-use ffd2d_core::scenario::ScenarioConfig;
+use ffd2d_core::scenario::{EngineMode, ScenarioConfig};
 use ffd2d_core::world::{FastMedium, World};
 use ffd2d_osc::prc::Prc;
+use ffd2d_osc::predict::{Cursor, TrajectoryCache};
 use ffd2d_osc::sync::phase_spread;
 use ffd2d_phy::frame::{FrameKind, ProximitySignal};
 use ffd2d_radio::units::Dbm;
@@ -61,14 +71,62 @@ impl FstProtocol {
     /// long `Sync` phase of fire traffic and oscillator adjustments;
     /// `SlotStats.fragments` stays at `n` (every device is its own
     /// fragment — nothing ever merges).
+    ///
+    /// An enabled sink consumes per-slot statistics, which requires
+    /// materializing every slot — a traced run always executes the
+    /// stepped loop, whatever [`ScenarioConfig::engine`] says (same
+    /// rule as the ST engine).
     pub fn run_in_traced<S: TraceSink>(world: &World, sink: &mut S) -> RunOutcome {
+        if !S::ENABLED && world.config().engine == EngineMode::EventDriven {
+            FstEngine::<S, true>::new(world, sink).run()
+        } else {
+            FstEngine::<S, false>::new(world, sink).run()
+        }
+    }
+}
+
+/// The mesh slot loop, in either execution mode (`EV` selects the
+/// event-driven calendar queue at compile time; see the ST engine for
+/// the full design rationale).
+struct FstEngine<'w, S: TraceSink, const EV: bool> {
+    world: &'w World,
+    sink: &'w mut S,
+    devices: Vec<Device>,
+    medium: FastMedium,
+    counters: Counters,
+    prc: Prc,
+    rng: StreamRng,
+    fire_queue: Vec<Vec<(DeviceId, u8)>>,
+    phases: Vec<f64>,
+    /// Reusable per-slot transmission list (no steady-state allocation).
+    pending_scratch: Vec<ProximitySignal>,
+    tol: f64,
+    ground_truth_links: u64,
+    // --- Event-driven machinery (dormant when `EV` is false) ---
+    /// Candidate wake-up slots (bare slot numbers; spurious entries are
+    /// harmless).
+    wake: BinaryHeap<Reverse<u64>>,
+    /// All slots `< synced_next` are fully processed.
+    synced_next: u64,
+    /// Devices whose phase may have changed this slot.
+    touched: Vec<DeviceId>,
+    /// Per-device memoized-trajectory position (`None` ⇒ literal ticks).
+    ///
+    /// Mesh coupling nudges most phases off the canonical reset values
+    /// (every heard pulse applies the PRC), so FST leans on the literal
+    /// fallback far more than ST does — the event win here comes mostly
+    /// from skipping whole slots, not from O(1) warps.
+    cursors: Vec<Option<Cursor>>,
+    traj: TrajectoryCache,
+}
+
+impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
+    fn new(world: &'w World, sink: &'w mut S) -> Self {
         let cfg = world.config();
         let n = world.n();
         let seed = cfg.sim.seed;
-        let prc = Prc::from_dissipation(cfg.protocol.dissipation, cfg.protocol.coupling);
-        let mut rng = StreamRng::new(seed, 0, StreamId::Protocol);
         let mut phase_rng = StreamRng::new(seed, 0, StreamId::Phases);
-        let mut devices: Vec<Device> = (0..n as DeviceId)
+        let devices: Vec<Device> = (0..n as DeviceId)
             .map(|id| {
                 let mut d = Device::new(
                     id,
@@ -82,55 +140,77 @@ impl FstProtocol {
                 d
             })
             .collect();
-
-        let mut medium = FastMedium::new(n);
-        let mut counters = Counters::new();
-        let mut fire_queue: Vec<Vec<(DeviceId, u8)>> = vec![Vec::new(); FIRE_RING];
-        let mut phases = Vec::with_capacity(n);
-        let pathloss = cfg.channel.pathloss;
-        let tx_power = cfg.channel.tx_power;
-        let tol = 1.0 / cfg.protocol.period_slots as f64 + 1e-12;
-        let mut convergence: Option<u64> = None;
-        let mut last_slot = 0u64;
-        let ground_truth_links = if S::ENABLED {
-            2 * world.proximity_graph().m() as u64
-        } else {
-            0
-        };
-        if S::ENABLED {
-            sink.event(&TraceEvent::PhaseEnter {
-                slot: 0,
-                phase: ProtoPhase::Sync,
-            });
+        FstEngine {
+            world,
+            sink,
+            devices,
+            medium: FastMedium::new(n),
+            counters: Counters::new(),
+            prc: Prc::from_dissipation(cfg.protocol.dissipation, cfg.protocol.coupling),
+            rng: StreamRng::new(seed, 0, StreamId::Protocol),
+            fire_queue: vec![Vec::new(); FIRE_RING],
+            phases: Vec::with_capacity(n),
+            pending_scratch: Vec::new(),
+            tol: 1.0 / cfg.protocol.period_slots as f64 + 1e-12,
+            ground_truth_links: 0,
+            wake: BinaryHeap::new(),
+            synced_next: 0,
+            touched: Vec::new(),
+            cursors: vec![None; n],
+            traj: TrajectoryCache::new(cfg.protocol.period_slots),
         }
+    }
 
-        for s in 0..cfg.sim.max_slots.0 {
-            let slot = Slot(s);
-            last_slot = s;
-            // Tick and stagger natural fires.
-            for (i, dev) in devices.iter_mut().enumerate() {
-                if dev.osc.tick() {
-                    let j = rng.gen_range(0..FIRE_JITTER);
-                    fire_queue[(s + j) as usize % FIRE_RING].push((i as DeviceId, j as u8));
+    /// One materialized slot — the body shared by both loops. Returns
+    /// `Some(slot)` on convergence.
+    fn slot_body(&mut self, slot: Slot) -> Option<u64> {
+        let world = self.world;
+        let pathloss = world.channel_config().pathloss;
+        let tx_power = world.channel_config().tx_power;
+        let n = self.devices.len();
+        let s = slot.0;
+
+        // Tick and stagger natural fires.
+        for i in 0..n {
+            if self.devices[i].osc.tick() {
+                let j = self.rng.gen_range(0..FIRE_JITTER);
+                self.fire_queue[(s + j) as usize % FIRE_RING].push((i as DeviceId, j as u8));
+                if EV {
+                    self.touched.push(i as DeviceId);
+                    if j > 0 {
+                        // The staggered transmission lands in a future
+                        // slot, which must be materialized for the ring
+                        // take below to find it.
+                        self.wake.push(Reverse(s + j));
+                    }
                 }
+            } else if EV {
+                self.cursors[i] = self.cursors[i].map(Cursor::next);
             }
-            let due = core::mem::take(&mut fire_queue[s as usize % FIRE_RING]);
-            if !due.is_empty() {
-                let pending: Vec<ProximitySignal> = due
-                    .iter()
-                    .map(|&(id, age)| ProximitySignal {
-                        sender: id,
-                        service: devices[id as usize].service,
-                        kind: FrameKind::Fire { fragment: id, age },
-                    })
-                    .collect();
-                let mut absorbed: Vec<(DeviceId, u8)> = Vec::new();
-                medium.resolve_traced(
+        }
+        let ring_at = s as usize % FIRE_RING;
+        let mut due = core::mem::take(&mut self.fire_queue[ring_at]);
+        if !due.is_empty() {
+            // The transmission list is reusable scratch, taken and
+            // returned with its capacity intact.
+            let mut pending = core::mem::take(&mut self.pending_scratch);
+            pending.clear();
+            pending.extend(due.iter().map(|&(id, age)| ProximitySignal {
+                sender: id,
+                service: self.devices[id as usize].service,
+                kind: FrameKind::Fire { fragment: id, age },
+            }));
+            let mut absorbed: Vec<(DeviceId, u8)> = Vec::new();
+            {
+                let devices = &mut self.devices;
+                let prc = &self.prc;
+                let touched = &mut self.touched;
+                self.medium.resolve_traced(
                     world,
                     slot,
                     &pending,
-                    &mut counters,
-                    &mut *sink,
+                    &mut self.counters,
+                    &mut *self.sink,
                     |receiver, sig, rx_dbm, sink| {
                         if let FrameKind::Fire { fragment, age } = sig.kind {
                             let dev = &mut devices[receiver as usize];
@@ -143,11 +223,15 @@ impl FstProtocol {
                                 &pathloss,
                                 tx_power,
                             );
-                            let before = if S::ENABLED { dev.osc.phase() } else { 0.0 };
-                            let fired = dev.hear_fire_delayed(sig.sender, &prc, age as u32);
-                            if S::ENABLED {
+                            let before = if S::ENABLED || EV {
+                                dev.osc.phase()
+                            } else {
+                                0.0
+                            };
+                            let fired = dev.hear_fire_delayed(sig.sender, prc, age as u32);
+                            if S::ENABLED || EV {
                                 let after = dev.osc.phase();
-                                if after != before || fired {
+                                if S::ENABLED && (after != before || fired) {
                                     sink.event(&TraceEvent::PhaseAdjust {
                                         slot: slot.0,
                                         device: receiver,
@@ -157,6 +241,9 @@ impl FstProtocol {
                                         absorbed: fired,
                                     });
                                 }
+                                if EV && (after != before || fired) {
+                                    touched.push(receiver);
+                                }
                             }
                             if fired {
                                 absorbed.push((receiver, age));
@@ -164,56 +251,187 @@ impl FstProtocol {
                         }
                     },
                 );
-                for (id, age) in absorbed {
-                    let j = rng.gen_range(1..FIRE_JITTER);
-                    fire_queue[(s + j) as usize % FIRE_RING]
-                        .push((id, age.saturating_add(j as u8)));
+            }
+            for (id, age) in absorbed {
+                let j = self.rng.gen_range(1..FIRE_JITTER);
+                self.fire_queue[(s + j) as usize % FIRE_RING]
+                    .push((id, age.saturating_add(j as u8)));
+                if EV {
+                    self.wake.push(Reverse(s + j));
                 }
             }
+            self.pending_scratch = pending;
+        }
+        due.clear();
+        self.fire_queue[ring_at] = due;
 
-            // Per-slot population summary (tracing only).
-            if S::ENABLED {
-                phases.clear();
-                phases.extend(devices.iter().map(|d| d.osc.phase()));
-                let discovered: u64 = devices.iter().map(|d| d.table.discovered() as u64).sum();
-                sink.event(&TraceEvent::SlotStats {
-                    slot: s,
-                    fragments: n as u32,
-                    phase_spread: phase_spread(&phases),
-                    discovered_links: discovered,
-                    ground_truth_links,
-                });
+        // Per-slot population summary (tracing only).
+        if S::ENABLED {
+            self.phases.clear();
+            self.phases
+                .extend(self.devices.iter().map(|d| d.osc.phase()));
+            let discovered: u64 = self
+                .devices
+                .iter()
+                .map(|d| d.table.discovered() as u64)
+                .sum();
+            self.sink.event(&TraceEvent::SlotStats {
+                slot: s,
+                fragments: n as u32,
+                phase_spread: phase_spread(&self.phases),
+                discovered_links: discovered,
+                ground_truth_links: self.ground_truth_links,
+            });
+        }
+
+        if s.is_multiple_of(SYNC_CHECK_INTERVAL) && n > 0 {
+            self.phases.clear();
+            self.phases
+                .extend(self.devices.iter().map(|d| d.osc.phase()));
+            if phase_spread(&self.phases) <= self.tol {
+                if S::ENABLED {
+                    self.sink.event(&TraceEvent::Converged { slot: s });
+                }
+                return Some(s);
             }
+        }
+        None
+    }
 
-            if s % SYNC_CHECK_INTERVAL == 0 && n > 0 {
-                phases.clear();
-                phases.extend(devices.iter().map(|d| d.osc.phase()));
-                if phase_spread(&phases) <= tol {
-                    convergence = Some(s);
-                    if S::ENABLED {
-                        sink.event(&TraceEvent::Converged { slot: s });
-                    }
+    /// Seed the wake queue: slot 0 (its body runs the unconditional
+    /// `s % 16 == 0` convergence probe) plus every device's first
+    /// natural fire (`k` ticks to fire ⇒ fires in slot `k - 1`).
+    fn schedule_initial(&mut self) {
+        self.wake.push(Reverse(0));
+        for i in 0..self.devices.len() {
+            let k = u64::from(self.devices[i].osc.ticks_to_next_fire());
+            self.wake.push(Reverse(k - 1));
+        }
+    }
+
+    /// Pop the next slot to materialize (see the ST engine).
+    fn next_wake(&mut self, max_slots: u64) -> Option<u64> {
+        while let Some(Reverse(s)) = self.wake.pop() {
+            if s < self.synced_next {
+                continue;
+            }
+            if s >= max_slots {
+                return None;
+            }
+            return Some(s);
+        }
+        None
+    }
+
+    /// Fast-forward every device through the skipped (pure-tick) slots
+    /// `[synced_next, s)`.
+    fn advance_to(&mut self, s: u64) {
+        let ticks = s - self.synced_next;
+        if ticks == 0 {
+            return;
+        }
+        for i in 0..self.devices.len() {
+            let fast = match self.cursors[i] {
+                Some(c) => self.traj.advance(c, ticks),
+                None => None,
+            };
+            match fast {
+                Some((phase, moved)) => {
+                    self.devices[i].osc.warp(phase, ticks);
+                    self.cursors[i] = Some(moved);
+                }
+                None => {
+                    self.cursors[i] = None;
+                    let fires = self.devices[i].osc.advance_by(ticks);
+                    debug_assert_eq!(
+                        fires, 0,
+                        "device {i} fired inside a skipped window ending at slot {s}"
+                    );
+                }
+            }
+        }
+        self.synced_next = s;
+    }
+
+    /// Re-arm the wake queue after materializing slot `s`: re-predict
+    /// fires of phase-changed devices and chain the next convergence
+    /// probe on the `SYNC_CHECK_INTERVAL` grid.
+    fn post_schedule(&mut self, s: u64) {
+        while let Some(v) = self.touched.pop() {
+            let phase = self.devices[v as usize].osc.phase();
+            let cur = self.traj.cursor_for_start(phase);
+            self.cursors[v as usize] = cur;
+            let k = match cur {
+                Some(c) => u64::from(self.traj.ticks_to_fire(c)),
+                None => u64::from(self.devices[v as usize].osc.ticks_to_next_fire()),
+            };
+            self.wake.push(Reverse(s + k));
+        }
+        self.wake
+            .push(Reverse(s + (SYNC_CHECK_INTERVAL - s % SYNC_CHECK_INTERVAL)));
+    }
+
+    fn run(mut self) -> RunOutcome {
+        let world = self.world;
+        let n = self.devices.len();
+        self.ground_truth_links = if S::ENABLED {
+            2 * world.proximity_graph().m() as u64
+        } else {
+            0
+        };
+        let mut convergence: Option<u64> = None;
+        let mut last_slot = 0u64;
+        if S::ENABLED {
+            self.sink.event(&TraceEvent::PhaseEnter {
+                slot: 0,
+                phase: ProtoPhase::Sync,
+            });
+        }
+
+        let max_slots = world.config().sim.max_slots.0;
+        if EV {
+            self.schedule_initial();
+            while let Some(s) = self.next_wake(max_slots) {
+                self.advance_to(s);
+                last_slot = s;
+                convergence = self.slot_body(Slot(s));
+                self.synced_next = s + 1;
+                if convergence.is_some() {
+                    break;
+                }
+                self.post_schedule(s);
+            }
+        } else {
+            for s in 0..max_slots {
+                last_slot = s;
+                convergence = self.slot_body(Slot(s));
+                if convergence.is_some() {
                     break;
                 }
             }
         }
 
         if S::ENABLED {
-            sink.event(&TraceEvent::RunEnd {
+            self.sink.event(&TraceEvent::RunEnd {
                 slot: last_slot,
                 converged: convergence.is_some(),
             });
-            sink.finish();
+            self.sink.finish();
         }
 
-        let discovered_links: u64 = devices.iter().map(|d| d.table.discovered() as u64).sum();
-        let service_matches: u64 = devices
+        let discovered_links: u64 = self
+            .devices
+            .iter()
+            .map(|d| d.table.discovered() as u64)
+            .sum();
+        let service_matches: u64 = self
+            .devices
             .iter()
             .map(|d| d.table.service_matches(d.service).len() as u64)
             .sum();
         RunOutcome {
             convergence_time: convergence.map(SlotDuration),
-            counters,
+            counters: self.counters,
             tree_edges: Vec::new(),
             merge_rounds: 0,
             discovered_links,
@@ -263,6 +481,15 @@ mod tests {
         let a = FstProtocol::run(&cfg(15, 4));
         let b = FstProtocol::run(&cfg(15, 4));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn engine_modes_agree() {
+        for seed in [1, 4, 9] {
+            let stepped = FstProtocol::run(&cfg(25, seed).with_engine(EngineMode::Stepped));
+            let event = FstProtocol::run(&cfg(25, seed).with_engine(EngineMode::EventDriven));
+            assert_eq!(stepped, event, "seed {seed}");
+        }
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Stepped vs. event-driven engine wall-clock comparison.
+//!
+//! Usage: slot_engine [--trials K] [--horizon SLOTS]
+//!
+//! Runs the ST protocol under both [`EngineMode`]s on a *sparse-firing*
+//! scenario: a 2 km ideal-channel arena (each fire is audible to a
+//! handful of neighbours, so the spatial grid prunes medium resolution
+//! to near-nothing) with the oscillator period stretched to 20 000
+//! slots — a 20 s low-duty-cycle discovery beacon at 1 ms slots. The
+//! stepped loop then spends almost all its time ticking idle
+//! oscillators — exactly the work the event engine skips. In the
+//! paper's dense 100 m arena every fire is resolved against all n
+//! receivers and that medium work, identical under both engines,
+//! swamps the tick loop; this bench isolates the engine difference.
+//! Outcomes are asserted identical; only wall clock differs.
+//!
+//! The win scales with the mean wake gap (≈ period/n, shrinking as
+//! devices synchronize onto shared fire slots), so the speedup column
+//! decreases from n=100 to n=1000 at fixed period.
+//!
+//! Writes `BENCH_slot_engine.json` at the repo root: median wall-clock
+//! per engine at n ∈ {100, 500, 1000}, speedup ratios, and host
+//! metadata. Run with `--release` — debug timings are meaningless.
+
+use std::time::Instant;
+
+use ffd2d_core::{EngineMode, ScenarioConfig, StProtocol};
+use ffd2d_sim::deployment::Meters;
+use ffd2d_sim::time::SlotDuration;
+
+/// The sparse-firing scenario: ideal channel, 2 km arena, 20 000-slot
+/// oscillator period.
+fn scenario(n: usize, horizon: u64, engine: EngineMode) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::table1(n)
+        .seeded(0x51_07)
+        .with_max_slots(SlotDuration(horizon))
+        .with_engine(engine)
+        .ideal_channel();
+    cfg.sim.area_width = Meters(2000.0);
+    cfg.sim.area_height = Meters(2000.0);
+    cfg.protocol.period_slots = 20_000;
+    cfg
+}
+
+/// Median wall-clock seconds over `trials` runs of `cfg`.
+fn median_secs(cfg: &ScenarioConfig, trials: usize) -> f64 {
+    let mut times: Vec<f64> = (0..trials)
+        .map(|_| {
+            let start = Instant::now();
+            let out = StProtocol::run(cfg);
+            let secs = start.elapsed().as_secs_f64();
+            // Keep the run from being optimized out.
+            assert!(out.counters.total_tx() > 0);
+            secs
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let value_of = |flag: &str| -> Option<u64> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    let trials = value_of("--trials").unwrap_or(3) as usize;
+    let horizon = value_of("--horizon").unwrap_or(100_000);
+
+    let mut rows = String::new();
+    for (i, &n) in [100usize, 500, 1000].iter().enumerate() {
+        let stepped_cfg = scenario(n, horizon, EngineMode::Stepped);
+        let event_cfg = scenario(n, horizon, EngineMode::EventDriven);
+
+        // The comparison is only meaningful if both engines do the same
+        // simulation; this is the equivalence the test suite locks.
+        let a = StProtocol::run(&stepped_cfg);
+        let b = StProtocol::run(&event_cfg);
+        assert_eq!(a, b, "engines diverged at n={n} — bench would be bogus");
+
+        let stepped = median_secs(&stepped_cfg, trials);
+        let event = median_secs(&event_cfg, trials);
+        let speedup = stepped / event;
+        let slots_run = a.convergence_time.map(|t| t.0).unwrap_or(horizon);
+        println!(
+            "n={n:5}  stepped {stepped:8.3}s  event {event:8.3}s  speedup {speedup:5.2}x  \
+             (converged: {}, slots: {slots_run})",
+            a.converged(),
+        );
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"n\": {n}, \"stepped_s\": {stepped:.6}, \"event_s\": {event:.6}, \
+             \"speedup\": {speedup:.3}, \"converged\": {}, \"slots_run\": {slots_run}}}",
+            a.converged(),
+        ));
+    }
+
+    let cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \"bench\": \"slot_engine\",\n  \"protocol\": \"ST\",\n  \
+         \"scenario\": {{\"arena\": \"ideal channel, 2km x 2km\", \"period_slots\": 20000, \
+         \"horizon_slots\": {horizon}, \"seed\": 20743, \"trials\": {trials}, \
+         \"metric\": \"median wall-clock seconds\"}},\n  \
+         \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {cpus}, \
+         \"profile\": \"{}\"}},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+    );
+    std::fs::write("BENCH_slot_engine.json", &json).expect("write BENCH_slot_engine.json");
+    eprintln!("wrote BENCH_slot_engine.json");
+}

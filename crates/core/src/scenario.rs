@@ -81,6 +81,33 @@ impl ProtocolConfig {
     }
 }
 
+/// Execution strategy for the protocol engines.
+///
+/// Both modes produce **bit-identical** outcomes (locked down by
+/// `tests/engine_equivalence.rs`); the choice is purely about wall
+/// clock. Tracing sinks need per-slot statistics, so a traced run
+/// always materializes every slot regardless of this setting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// Materialize every slot of the horizon (the reference loop).
+    Stepped,
+    /// Jump between wake-up slots (fires, deadlines, deliveries) via a
+    /// calendar queue, fast-forwarding the idle stretches.
+    #[default]
+    EventDriven,
+}
+
+impl EngineMode {
+    /// Parse a `--engine` flag value (`stepped` / `event`).
+    pub fn from_flag(flag: &str) -> Option<EngineMode> {
+        match flag {
+            "stepped" => Some(EngineMode::Stepped),
+            "event" | "event-driven" => Some(EngineMode::EventDriven),
+            _ => None,
+        }
+    }
+}
+
 /// A complete experiment scenario.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ScenarioConfig {
@@ -90,6 +117,8 @@ pub struct ScenarioConfig {
     pub channel: ChannelConfig,
     /// Protocol layer (oscillator, PRC, merge machinery).
     pub protocol: ProtocolConfig,
+    /// Engine execution strategy (outcome-neutral; see [`EngineMode`]).
+    pub engine: EngineMode,
 }
 
 impl ScenarioConfig {
@@ -101,6 +130,7 @@ impl ScenarioConfig {
             sim: SimConfig::with_devices(n),
             channel: ChannelConfig::default(),
             protocol: ProtocolConfig::default(),
+            engine: EngineMode::default(),
         }
     }
 
@@ -132,6 +162,12 @@ impl ScenarioConfig {
     /// Builder: override coupling strength ε (ablation A2).
     pub fn with_coupling(mut self, epsilon: f64) -> Self {
         self.protocol.coupling = epsilon;
+        self
+    }
+
+    /// Builder: select the engine execution strategy.
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -188,6 +224,19 @@ mod tests {
         let mut c = ScenarioConfig::table1(10);
         c.protocol.discovery_periods = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn engine_mode_defaults_to_event_driven() {
+        assert_eq!(ScenarioConfig::table1(10).engine, EngineMode::EventDriven);
+        let c = ScenarioConfig::table1(10).with_engine(EngineMode::Stepped);
+        assert_eq!(c.engine, EngineMode::Stepped);
+        assert_eq!(EngineMode::from_flag("stepped"), Some(EngineMode::Stepped));
+        assert_eq!(
+            EngineMode::from_flag("event"),
+            Some(EngineMode::EventDriven)
+        );
+        assert_eq!(EngineMode::from_flag("bogus"), None);
     }
 
     #[test]

@@ -39,9 +39,11 @@
 //!   adopting tree links implied by received floods.
 
 use rand::Rng;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use ffd2d_osc::prc::Prc;
+use ffd2d_osc::predict::{Cursor, TrajectoryCache};
 use ffd2d_phy::frame::{FrameKind, ProximitySignal};
 use ffd2d_radio::units::Dbm;
 use ffd2d_sim::counters::Counters;
@@ -52,7 +54,7 @@ use ffd2d_trace::{Codec, FrameLabel, NullSink, ProtoPhase, RejectReason, TraceEv
 
 use crate::device::{CouplingMode, Device};
 use crate::outcome::RunOutcome;
-use crate::scenario::ScenarioConfig;
+use crate::scenario::{EngineMode, ScenarioConfig};
 use crate::world::{FastMedium, World};
 
 /// Sentinel for "no device".
@@ -103,8 +105,19 @@ impl StProtocol {
     }
 
     /// [`StProtocol::run_in`] with protocol-event tracing.
+    ///
+    /// An enabled sink consumes per-slot statistics ([`TraceEvent::
+    /// SlotStats`]), which requires materializing every slot — so a
+    /// traced run always executes the stepped engine, whatever
+    /// [`ScenarioConfig::engine`] says. Outcomes (and therefore the
+    /// JSONL logs) are bit-identical between the modes either way,
+    /// locked down by `tests/engine_equivalence.rs`.
     pub fn run_in_traced<S: TraceSink>(world: &World, sink: &mut S) -> RunOutcome {
-        Engine::new(world, sink).run()
+        if !S::ENABLED && world.config().engine == EngineMode::EventDriven {
+            Engine::<S, true>::new(world, sink).run()
+        } else {
+            Engine::<S, false>::new(world, sink).run()
+        }
     }
 }
 
@@ -251,7 +264,23 @@ enum Phase {
     Sync,
 }
 
-struct Engine<'w, S: TraceSink> {
+/// The slot-accurate protocol engine.
+///
+/// `EV` selects the execution strategy at compile time:
+///
+/// * `EV = false` — the **stepped** reference loop: every slot of the
+///   horizon is materialized.
+/// * `EV = true` — the **event-driven** loop: a calendar queue of
+///   wake-up slots (next oscillator fires, phase boundaries, pending
+///   unicast deliveries, handshake deadlines, beacon offsets,
+///   convergence probes) decides which slots to materialize; the idle
+///   stretches in between are fast-forwarded in O(1) per device via
+///   memoized phase trajectories. A materialized slot runs the *same*
+///   [`slot_body`](Engine::slot_body) as the stepped loop, and the
+///   wake set is a superset of every slot in which anything beyond
+///   pure phase ticking happens — which is what makes the two modes
+///   bit-identical (locked by `tests/engine_equivalence.rs`).
+struct Engine<'w, S: TraceSink, const EV: bool> {
     world: &'w World,
     /// Protocol-event sink; all emission sites are gated on
     /// `S::ENABLED`, so a [`NullSink`] engine is the untraced engine.
@@ -291,13 +320,54 @@ struct Engine<'w, S: TraceSink> {
     phases_scratch: Vec<f64>,
     /// Scratch for the per-slot distinct-fragment count (tracing only).
     frag_scratch: Vec<DeviceId>,
+    /// Scratch for the per-slot on-air transmission list (reused across
+    /// slots so busy slots allocate nothing).
+    pending_scratch: Vec<ProximitySignal>,
+    /// First slot of the merge phase (`discovery_periods × T`).
+    discovery_end: u64,
+    /// Merge-round safety cap (set once in `run`).
+    max_rounds: u32,
+    /// Completeness denominator for per-slot stats (tracing only).
+    ground_truth_links: u64,
+    // --- Event-driven machinery (dormant when `EV` is false) ---
+    /// Candidate wake-up slots. Bare slot numbers, no payloads: a
+    /// spurious wake just materializes a slot in which nothing happens,
+    /// so stale entries need no invalidation.
+    wake: BinaryHeap<Reverse<u64>>,
+    /// All slots `< synced_next` are fully processed (device state
+    /// reflects every tick up to and including slot `synced_next - 1`).
+    synced_next: u64,
+    /// Devices whose oscillator phase may have changed in the current
+    /// slot (fired, absorbed, or parent-aligned); drained by
+    /// [`post_schedule`](Engine::post_schedule) to re-derive cursors
+    /// and re-predict fires.
+    touched: Vec<DeviceId>,
+    /// Per-device position on a memoized phase trajectory (`None` ⇒
+    /// non-canonical phase, fast-forwarded by literal ticking).
+    cursors: Vec<Option<Cursor>>,
+    /// Shared memoized phase ramps (all devices share one period).
+    traj: TrajectoryCache,
+    /// Sorted, deduplicated `beacon_offset` values — the merge-phase
+    /// beacon residues mod the period.
+    beacon_residues: Vec<u64>,
 }
 
-impl<'w, S: TraceSink> Engine<'w, S> {
-    fn new(world: &'w World, sink: &'w mut S) -> Engine<'w, S> {
+impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
+    fn new(world: &'w World, sink: &'w mut S) -> Self {
         let cfg = world.config();
         let n = world.n();
         let seed = cfg.sim.seed;
+        let beacon_offset: Vec<u64> = {
+            let period = cfg.protocol.period_slots as u64;
+            let mut rng = StreamRng::with_raw_stream(seed, 0, 0xBEAC);
+            (0..n).map(|_| rng.gen_range(0..period)).collect()
+        };
+        let beacon_residues = {
+            let mut r = beacon_offset.clone();
+            r.sort_unstable();
+            r.dedup();
+            r
+        };
         let mut phase_rng = StreamRng::new(seed, 0, StreamId::Phases);
         let devices: Vec<Device> = (0..n as DeviceId)
             .map(|id| {
@@ -333,13 +403,22 @@ impl<'w, S: TraceSink> Engine<'w, S> {
             inbox: Vec::new(),
             rach2_out: Vec::new(),
             fire_queue: vec![Vec::new(); FIRE_RING],
-            beacon_offset: {
-                let period = cfg.protocol.period_slots as u64;
-                let mut rng = StreamRng::with_raw_stream(seed, 0, 0xBEAC);
-                (0..n).map(|_| rng.gen_range(0..period)).collect()
-            },
+            beacon_offset,
             phases_scratch: Vec::new(),
             frag_scratch: Vec::new(),
+            pending_scratch: Vec::new(),
+            discovery_end: 0,
+            max_rounds: 0,
+            ground_truth_links: 0,
+            wake: BinaryHeap::new(),
+            synced_next: 0,
+            touched: Vec::new(),
+            // Initial phases are arbitrary random reals — never
+            // canonical — so every device starts on the literal-ticking
+            // fallback and joins a shared trajectory at its first reset.
+            cursors: vec![None; n],
+            traj: TrajectoryCache::new(cfg.protocol.period_slots),
+            beacon_residues,
         }
     }
 
@@ -424,6 +503,11 @@ impl<'w, S: TraceSink> Engine<'w, S> {
         let budget = (5 * d + handshake + 8).max(cfg.period_slots as u64 * 3 / 2);
         self.round_end = slot.0 + budget;
         self.round_grace_end = self.round_end.saturating_sub(2 * d + 16);
+        if EV {
+            // The round boundary is a phase-transition point and must be
+            // materialized.
+            self.wake.push(Reverse(self.round_end));
+        }
         if S::ENABLED {
             let fragments = self.fragment_count();
             self.sink.event(&TraceEvent::RoundStart {
@@ -544,6 +628,10 @@ impl<'w, S: TraceSink> Engine<'w, S> {
         st.hs_peer = v;
         st.hs_retries = cfg.handshake_retries;
         st.hs_next_tx = slot.0 + 1 + self.rng.gen_range(0..cfg.handshake_window as u64);
+        if EV {
+            let at = st.hs_next_tx;
+            self.wake.push(Reverse(at));
+        }
     }
 
     fn handle_msg(&mut self, from: DeviceId, v: DeviceId, msg: Msg, slot: Slot) {
@@ -1089,6 +1177,13 @@ impl<'w, S: TraceSink> Engine<'w, S> {
             .gen_range(min_jitter..FIRE_JITTER.max(min_jitter + 1));
         let at = (slot.0 + j) as usize % FIRE_RING;
         self.fire_queue[at].push((id, base_age.saturating_add(j as u8)));
+        if EV && j > 0 {
+            // Jittered transmissions land in a future slot, which must
+            // be materialized for the ring take to find them (`j = 0`
+            // entries are taken later in the *current*, already
+            // materialized slot).
+            self.wake.push(Reverse(slot.0 + j));
+        }
     }
 
     /// One slot of broadcast traffic: tick oscillators, transmit due
@@ -1101,22 +1196,31 @@ impl<'w, S: TraceSink> Engine<'w, S> {
         // Natural fires from the slot tick.
         for i in 0..self.devices.len() {
             if self.devices[i].osc.tick() {
+                if EV {
+                    self.touched.push(i as DeviceId);
+                }
                 self.enqueue_fire(i as DeviceId, slot, 0, 0);
+            } else if EV {
+                self.cursors[i] = self.cursors[i].map(Cursor::next);
             }
         }
-        // Due transmissions.
-        let due = core::mem::take(&mut self.fire_queue[slot.0 as usize % FIRE_RING]);
-        let mut pending: Vec<ProximitySignal> = due
-            .iter()
-            .map(|&(id, age)| ProximitySignal {
-                sender: id,
-                service: self.devices[id as usize].service,
-                kind: FrameKind::Fire {
-                    fragment: self.devices[id as usize].fragment,
-                    age,
-                },
-            })
-            .collect();
+        // Due transmissions. The ring bucket and the transmission list
+        // are reusable scratch: taken here, returned below with their
+        // capacity intact, so steady-state slots allocate nothing.
+        let ring_at = slot.0 as usize % FIRE_RING;
+        let mut due = core::mem::take(&mut self.fire_queue[ring_at]);
+        let mut pending = core::mem::take(&mut self.pending_scratch);
+        pending.clear();
+        pending.extend(due.iter().map(|&(id, age)| ProximitySignal {
+            sender: id,
+            service: self.devices[id as usize].service,
+            kind: FrameKind::Fire {
+                fragment: self.devices[id as usize].fragment,
+                age,
+            },
+        }));
+        due.clear();
+        self.fire_queue[ring_at] = due;
         // Merge-phase keep-alive beacons: one per device per period, at
         // a per-device random offset. Synchronized fragments fire in a
         // tight window that self-jams; beacons keep fragment labels and
@@ -1138,6 +1242,7 @@ impl<'w, S: TraceSink> Engine<'w, S> {
         }
         pending.append(&mut self.rach2_out);
         if pending.is_empty() {
+            self.pending_scratch = pending;
             return;
         }
 
@@ -1146,6 +1251,7 @@ impl<'w, S: TraceSink> Engine<'w, S> {
         {
             let devices = &mut self.devices;
             let prc = &self.prc;
+            let touched = &mut self.touched;
             self.medium.resolve_traced(
                 self.world,
                 slot,
@@ -1165,11 +1271,15 @@ impl<'w, S: TraceSink> Engine<'w, S> {
                             tx_power,
                         );
                         if age != BEACON_AGE {
-                            let before = if S::ENABLED { dev.osc.phase() } else { 0.0 };
+                            let before = if S::ENABLED || EV {
+                                dev.osc.phase()
+                            } else {
+                                0.0
+                            };
                             let fired = dev.hear_fire_delayed(sig.sender, prc, age as u32);
-                            if S::ENABLED {
+                            if S::ENABLED || EV {
                                 let after = dev.osc.phase();
-                                if after != before || fired {
+                                if S::ENABLED && (after != before || fired) {
                                     sink.event(&TraceEvent::PhaseAdjust {
                                         slot: slot.0,
                                         device: receiver,
@@ -1178,6 +1288,9 @@ impl<'w, S: TraceSink> Engine<'w, S> {
                                         after,
                                         absorbed: fired,
                                     });
+                                }
+                                if EV && (after != before || fired) {
+                                    touched.push(receiver);
                                 }
                             }
                             if fired {
@@ -1197,6 +1310,7 @@ impl<'w, S: TraceSink> Engine<'w, S> {
         for (id, age) in absorbed {
             self.enqueue_fire(id, slot, 1, age);
         }
+        self.pending_scratch = pending;
     }
 
     /// Smallest covering arc of the population's phases, in turns.
@@ -1207,21 +1321,274 @@ impl<'w, S: TraceSink> Engine<'w, S> {
         ffd2d_osc::sync::phase_spread(&self.phases_scratch)
     }
 
-    fn run(mut self) -> RunOutcome {
-        let cfg = self.world.config().clone();
+    /// One materialized slot — the body shared verbatim by the stepped
+    /// and event-driven loops. Returns `Some(slot)` when convergence is
+    /// declared (the caller breaks out of its loop).
+    fn slot_body(&mut self, slot: Slot) -> Option<u64> {
+        let world = self.world;
+        let cfg = world.config();
         let n = self.devices.len();
-        let discovery_end =
+        let s = slot.0;
+
+        // Phase transitions.
+        match self.phase {
+            Phase::Discovery if s >= self.discovery_end => {
+                self.phase = Phase::Merge;
+                if S::ENABLED {
+                    self.sink.event(&TraceEvent::PhaseEnter {
+                        slot: s,
+                        phase: ProtoPhase::Merge,
+                    });
+                }
+                for d in self.devices.iter_mut() {
+                    d.coupling = CouplingMode::TreeOnly;
+                }
+                self.start_round(slot);
+            }
+            Phase::Merge if s >= self.round_end => {
+                if self.commits_total == self.commits_at_round_start {
+                    self.stagnant_rounds += 1;
+                } else {
+                    self.stagnant_rounds = 0;
+                }
+                self.commits_at_round_start = self.commits_total;
+                // Done when all heads are idle, when rounds stopped
+                // producing merges (stale phantom edges), or at the
+                // safety cap.
+                if self.mergecmds_this_round == 0
+                    || self.stagnant_rounds >= 4
+                    || self.round >= self.max_rounds
+                {
+                    self.phase = Phase::Sync;
+                    if S::ENABLED {
+                        self.sink.event(&TraceEvent::PhaseEnter {
+                            slot: s,
+                            phase: ProtoPhase::Sync,
+                        });
+                    }
+                    for d in self.devices.iter_mut() {
+                        d.coupling = CouplingMode::TreeOnly;
+                    }
+                } else {
+                    self.start_round(slot);
+                }
+            }
+            _ => {}
+        }
+
+        // Deliver last slot's unicasts. The swap hands the handlers an
+        // empty outbox to push replies into; the delivered batch buffer
+        // is reused across slots (no per-slot allocation).
+        core::mem::swap(&mut self.inbox, &mut self.outbox);
+        let mut batch = core::mem::take(&mut self.inbox);
+        for &(from, to, msg) in &batch {
+            self.handle_msg(from, to, msg, slot);
+        }
+        batch.clear();
+        self.inbox = batch;
+
+        // Boundary handshake (re)transmissions — only while enough
+        // round time remains for the full grant/accept/finalize
+        // exchange (late handshakes would straddle the round
+        // boundary and leave half-committed edges).
+        if self.phase == Phase::Merge && s <= self.round_grace_end {
+            for v in 0..n as DeviceId {
+                let st = &self.m[v as usize];
+                if st.hs_peer != NONE && !st.committed && st.hs_next_tx == s {
+                    let d = &self.devices[v as usize];
+                    let sig = ProximitySignal {
+                        sender: v,
+                        service: d.service,
+                        kind: FrameKind::HConnect {
+                            to: st.hs_peer,
+                            fragment: d.fragment,
+                            fragment_size: st.frag_size,
+                            head: d.head,
+                        },
+                    };
+                    self.rach2_out.push(sig);
+                    let st = &mut self.m[v as usize];
+                    if st.hs_retries > 0 {
+                        st.hs_retries -= 1;
+                        let next = s
+                            + HANDSHAKE_TIMEOUT
+                            + self.rng.gen_range(0..cfg.protocol.handshake_window as u64);
+                        st.hs_next_tx = next;
+                        if EV {
+                            self.wake.push(Reverse(next));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Broadcast traffic + coupling.
+        self.broadcast_step(slot);
+
+        // Per-slot population summary — the "slot tick" of the
+        // trace. O(n log n), gathered only when a sink listens.
+        if S::ENABLED {
+            let fragments = self.fragment_count();
+            let phase_spread = self.phase_spread();
+            let discovered_links: u64 = self
+                .devices
+                .iter()
+                .map(|d| d.table.discovered() as u64)
+                .sum();
+            self.sink.event(&TraceEvent::SlotStats {
+                slot: s,
+                fragments,
+                phase_spread,
+                discovered_links,
+                ground_truth_links: self.ground_truth_links,
+            });
+        }
+
+        // Convergence: all phases within one slot of each other.
+        if self.phase == Phase::Sync && s.is_multiple_of(SYNC_CHECK_INTERVAL) {
+            let tol = 1.0 / cfg.protocol.period_slots as f64 + 1e-12;
+            if n > 0 && self.phase_spread() <= tol {
+                if S::ENABLED {
+                    self.sink.event(&TraceEvent::Converged { slot: s });
+                }
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    /// Seed the wake queue: every device's first natural fire plus the
+    /// discovery→merge boundary. (A device whose oscillator needs `k`
+    /// ticks fires in slot `k - 1`: slot bodies tick once each, starting
+    /// at slot 0.)
+    fn schedule_initial(&mut self) {
+        self.wake.push(Reverse(self.discovery_end));
+        for i in 0..self.devices.len() {
+            let k = u64::from(self.devices[i].osc.ticks_to_next_fire());
+            self.wake.push(Reverse(k - 1));
+        }
+    }
+
+    /// Pop the next slot to materialize, skipping duplicates and
+    /// already-processed entries. `None` ends the run: the heap is
+    /// min-ordered, so once the top reaches the horizon every remaining
+    /// candidate is past it too.
+    fn next_wake(&mut self, max_slots: u64) -> Option<u64> {
+        while let Some(Reverse(s)) = self.wake.pop() {
+            if s < self.synced_next {
+                continue;
+            }
+            if s >= max_slots {
+                return None;
+            }
+            return Some(s);
+        }
+        None
+    }
+
+    /// Fast-forward every device through the skipped slots
+    /// `[synced_next, s)`. These are pure ticks by construction of the
+    /// wake set (a fire inside the window would have been scheduled as
+    /// a wake), so devices holding a trajectory cursor warp in O(1);
+    /// the rest tick literally.
+    fn advance_to(&mut self, s: u64) {
+        let ticks = s - self.synced_next;
+        if ticks == 0 {
+            return;
+        }
+        for i in 0..self.devices.len() {
+            let fast = match self.cursors[i] {
+                Some(c) => self.traj.advance(c, ticks),
+                None => None,
+            };
+            match fast {
+                Some((phase, moved)) => {
+                    self.devices[i].osc.warp(phase, ticks);
+                    self.cursors[i] = Some(moved);
+                }
+                None => {
+                    self.cursors[i] = None;
+                    let fires = self.devices[i].osc.advance_by(ticks);
+                    debug_assert_eq!(
+                        fires, 0,
+                        "device {i} fired inside a skipped window ending at slot {s}"
+                    );
+                }
+            }
+        }
+        self.synced_next = s;
+    }
+
+    /// Re-arm the wake queue after materializing slot `s`.
+    fn post_schedule(&mut self, s: u64) {
+        // Unicasts sent this slot deliver next slot.
+        if !self.outbox.is_empty() {
+            self.wake.push(Reverse(s + 1));
+        }
+        // Devices whose phase changed: re-derive the trajectory cursor
+        // from the (canonical) reset phase and re-predict the fire.
+        while let Some(v) = self.touched.pop() {
+            let phase = self.devices[v as usize].osc.phase();
+            let cur = self.traj.cursor_for_start(phase);
+            self.cursors[v as usize] = cur;
+            let k = match cur {
+                Some(c) => u64::from(self.traj.ticks_to_fire(c)),
+                None => u64::from(self.devices[v as usize].osc.ticks_to_next_fire()),
+            };
+            self.wake.push(Reverse(s + k));
+        }
+        match self.phase {
+            // The discovery→merge boundary is scheduled up front.
+            Phase::Discovery => {}
+            // Keep-alive beacons: materialize the next slot in which any
+            // device's beacon offset comes up. Each beacon slot re-arms
+            // the next one, so the chain spans the whole phase.
+            Phase::Merge => {
+                if let Some(b) = self.next_beacon_slot(s) {
+                    self.wake.push(Reverse(b));
+                }
+            }
+            // Convergence probes run on the SYNC_CHECK_INTERVAL grid;
+            // like the beacons, each probe re-arms the next.
+            Phase::Sync => {
+                self.wake
+                    .push(Reverse(s + (SYNC_CHECK_INTERVAL - s % SYNC_CHECK_INTERVAL)));
+            }
+        }
+    }
+
+    /// The first slot strictly after `s` holding any device's
+    /// merge-phase beacon offset.
+    fn next_beacon_slot(&self, s: u64) -> Option<u64> {
+        if self.beacon_residues.is_empty() {
+            return None;
+        }
+        let period = u64::from(self.world.config().protocol.period_slots);
+        let q = s + 1;
+        let rem = q % period;
+        let idx = self.beacon_residues.partition_point(|&r| r < rem);
+        Some(match self.beacon_residues.get(idx) {
+            Some(&r) => q + (r - rem),
+            None => q + (period - rem) + self.beacon_residues[0],
+        })
+    }
+
+    fn run(mut self) -> RunOutcome {
+        let world = self.world;
+        let cfg = world.config();
+        let n = self.devices.len();
+        self.discovery_end =
             cfg.protocol.discovery_periods as u64 * cfg.protocol.period_slots as u64;
-        let max_rounds = 2 * (usize::BITS - n.leading_zeros()) + 16;
-        let mut convergence: Option<u64> = None;
-        let mut last_slot = 0u64;
+        self.max_rounds = 2 * (usize::BITS - n.leading_zeros()) + 16;
         // Completeness denominator for per-slot stats (constant over a
         // static run; the graph is built lazily either way).
-        let ground_truth_links = if S::ENABLED {
-            2 * self.world.proximity_graph().m() as u64
+        self.ground_truth_links = if S::ENABLED {
+            2 * world.proximity_graph().m() as u64
         } else {
             0
         };
+        let mut convergence: Option<u64> = None;
+        let mut last_slot = 0u64;
         if S::ENABLED {
             self.sink.event(&TraceEvent::PhaseEnter {
                 slot: 0,
@@ -1229,124 +1596,24 @@ impl<'w, S: TraceSink> Engine<'w, S> {
             });
         }
 
-        for s in 0..cfg.sim.max_slots.0 {
-            let slot = Slot(s);
-            last_slot = s;
-
-            // Phase transitions.
-            match self.phase {
-                Phase::Discovery if s >= discovery_end => {
-                    self.phase = Phase::Merge;
-                    if S::ENABLED {
-                        self.sink.event(&TraceEvent::PhaseEnter {
-                            slot: s,
-                            phase: ProtoPhase::Merge,
-                        });
-                    }
-                    for d in self.devices.iter_mut() {
-                        d.coupling = CouplingMode::TreeOnly;
-                    }
-                    self.start_round(slot);
+        let max_slots = cfg.sim.max_slots.0;
+        if EV {
+            self.schedule_initial();
+            while let Some(s) = self.next_wake(max_slots) {
+                self.advance_to(s);
+                last_slot = s;
+                convergence = self.slot_body(Slot(s));
+                self.synced_next = s + 1;
+                if convergence.is_some() {
+                    break;
                 }
-                Phase::Merge if s >= self.round_end => {
-                    if self.commits_total == self.commits_at_round_start {
-                        self.stagnant_rounds += 1;
-                    } else {
-                        self.stagnant_rounds = 0;
-                    }
-                    self.commits_at_round_start = self.commits_total;
-                    // Done when all heads are idle, when rounds stopped
-                    // producing merges (stale phantom edges), or at the
-                    // safety cap.
-                    if self.mergecmds_this_round == 0
-                        || self.stagnant_rounds >= 4
-                        || self.round >= max_rounds
-                    {
-                        self.phase = Phase::Sync;
-                        if S::ENABLED {
-                            self.sink.event(&TraceEvent::PhaseEnter {
-                                slot: s,
-                                phase: ProtoPhase::Sync,
-                            });
-                        }
-                        for d in self.devices.iter_mut() {
-                            d.coupling = CouplingMode::TreeOnly;
-                        }
-                    } else {
-                        self.start_round(slot);
-                    }
-                }
-                _ => {}
+                self.post_schedule(s);
             }
-
-            // Deliver last slot's unicasts.
-            core::mem::swap(&mut self.inbox, &mut self.outbox);
-            let batch: Vec<(DeviceId, DeviceId, Msg)> = self.inbox.drain(..).collect();
-            for (from, to, msg) in batch {
-                self.handle_msg(from, to, msg, slot);
-            }
-
-            // Boundary handshake (re)transmissions — only while enough
-            // round time remains for the full grant/accept/finalize
-            // exchange (late handshakes would straddle the round
-            // boundary and leave half-committed edges).
-            if self.phase == Phase::Merge && s <= self.round_grace_end {
-                for v in 0..n as DeviceId {
-                    let st = &self.m[v as usize];
-                    if st.hs_peer != NONE && !st.committed && st.hs_next_tx == s {
-                        let d = &self.devices[v as usize];
-                        let sig = ProximitySignal {
-                            sender: v,
-                            service: d.service,
-                            kind: FrameKind::HConnect {
-                                to: st.hs_peer,
-                                fragment: d.fragment,
-                                fragment_size: st.frag_size,
-                                head: d.head,
-                            },
-                        };
-                        self.rach2_out.push(sig);
-                        let st = &mut self.m[v as usize];
-                        if st.hs_retries > 0 {
-                            st.hs_retries -= 1;
-                            st.hs_next_tx = s
-                                + HANDSHAKE_TIMEOUT
-                                + self.rng.gen_range(0..cfg.protocol.handshake_window as u64);
-                        }
-                    }
-                }
-            }
-
-            // Broadcast traffic + coupling.
-            self.broadcast_step(slot);
-
-            // Per-slot population summary — the "slot tick" of the
-            // trace. O(n log n), gathered only when a sink listens.
-            if S::ENABLED {
-                let fragments = self.fragment_count();
-                let phase_spread = self.phase_spread();
-                let discovered_links: u64 = self
-                    .devices
-                    .iter()
-                    .map(|d| d.table.discovered() as u64)
-                    .sum();
-                self.sink.event(&TraceEvent::SlotStats {
-                    slot: s,
-                    fragments,
-                    phase_spread,
-                    discovered_links,
-                    ground_truth_links,
-                });
-            }
-
-            // Convergence: all phases within one slot of each other.
-            if self.phase == Phase::Sync && s % SYNC_CHECK_INTERVAL == 0 {
-                let tol = 1.0 / cfg.protocol.period_slots as f64 + 1e-12;
-                if n > 0 && self.phase_spread() <= tol {
-                    convergence = Some(s);
-                    if S::ENABLED {
-                        self.sink.event(&TraceEvent::Converged { slot: s });
-                    }
+        } else {
+            for s in 0..max_slots {
+                last_slot = s;
+                convergence = self.slot_body(Slot(s));
+                if convergence.is_some() {
                     break;
                 }
             }

@@ -10,7 +10,7 @@
 //! * **A4 — topology**: mesh vs. tree coupling on the ideal oscillator
 //!   population (the paper's core design decision, without any radio).
 
-use ffd2d_core::{ScenarioConfig, StProtocol};
+use ffd2d_core::{EngineMode, ScenarioConfig, StProtocol};
 use ffd2d_metrics::{Series, Summary};
 use ffd2d_osc::network::CoupledNetwork;
 use ffd2d_osc::prc::Prc;
@@ -30,6 +30,10 @@ pub struct AblationParams {
     pub horizon: SlotDuration,
     /// Master seed.
     pub seed: u64,
+    /// Engine execution strategy for the radio-backed sweeps (A1, A3);
+    /// outcome-neutral, see `tests/engine_equivalence.rs`. The
+    /// radio-free oscillator studies (A2, A4) have no slot engine.
+    pub engine: EngineMode,
 }
 
 impl Default for AblationParams {
@@ -39,6 +43,7 @@ impl Default for AblationParams {
             trials: 5,
             horizon: SlotDuration(40_000),
             seed: 0xAB1A,
+            engine: EngineMode::default(),
         }
     }
 }
@@ -63,8 +68,12 @@ where
         trials: params.trials,
     };
     let horizon = params.horizon;
+    let engine = params.engine;
     let grouped = run_trials(xs, &cfg, |&x, ctx| {
-        let scenario = scenario_for(x).seeded(ctx.seed).with_max_slots(horizon);
+        let scenario = scenario_for(x)
+            .seeded(ctx.seed)
+            .with_max_slots(horizon)
+            .with_engine(engine);
         let out = StProtocol::run(&scenario);
         (
             out.time_or(horizon).as_millis() as f64,
@@ -192,6 +201,7 @@ mod tests {
             trials: 2,
             horizon: SlotDuration(60_000),
             seed: 5,
+            ..Default::default()
         }
     }
 
@@ -212,6 +222,7 @@ mod tests {
             trials: 3,
             horizon: SlotDuration(300_000),
             seed: 6,
+            ..Default::default()
         };
         let pts = coupling_sweep(&params, &[0.01, 0.2]);
         assert!(
@@ -229,6 +240,7 @@ mod tests {
             trials: 3,
             horizon: SlotDuration(500_000),
             seed: 7,
+            ..Default::default()
         });
         assert!(mesh.mean() <= path.mean());
     }

@@ -1,5 +1,9 @@
 //! Ablations A1–A4.
-//! Usage: ablation [sigma|coupling|density|topology|all] [--trace DIR]
+//! Usage: ablation [sigma|coupling|density|topology|all]
+//!                 [--engine stepped|event] [--trace DIR]
+//!
+//! `--engine` selects the slot engine for the radio-backed sweeps
+//! (A1, A3); results are bit-identical under both settings.
 //!
 //! With `--trace DIR`, additionally runs one traced ST trial of the
 //! Table-I baseline ablation scenario (n = AblationParams default,
@@ -15,8 +19,15 @@ use ffd2d_sim::time::SlotDuration;
 fn main() {
     // Validate `--trace` usage before paying for the sweeps.
     let trace_dir = ffd2d_experiments::trace_dir_from_args();
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    let params = AblationParams::default();
+    // A leading flag (e.g. `ablation --engine stepped`) means "all".
+    let which = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "all".into());
+    let mut params = AblationParams::default();
+    if let Some(engine) = ffd2d_experiments::engine_from_args() {
+        params.engine = engine;
+    }
     if which == "sigma" || which == "all" {
         println!("== A1: shadowing sigma sweep (ST, n={}) ==", params.n);
         for p in shadowing_sweep(&params, &[0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0]) {

@@ -4,7 +4,9 @@
 //! rx loss) that explain the message-count divergence.
 //!
 //! Usage: fig4 [--quick] [--trials N] [--max-n M] [--horizon SLOTS]
-//!             [--trace DIR]
+//!             [--engine stepped|event] [--trace DIR]
+//! `--engine` selects the slot engine (default: event); the CSVs are
+//! bit-identical under both settings, only wall clock differs.
 
 use ffd2d_experiments::sweep::run_paper_sweep;
 

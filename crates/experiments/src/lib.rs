@@ -31,8 +31,9 @@ pub use sweep::{run_paper_sweep, SweepParams, SweepReport};
 pub use trace::{trace_dir_from_args, write_sweep_traces};
 
 /// Parse the common sweep flags shared by the `fig3`/`fig4` binaries:
-/// `--quick`, `--trials N`, `--max-n M`, `--horizon SLOTS` (see
-/// [`trace_dir_from_args`] for the `--trace DIR` flag).
+/// `--quick`, `--trials N`, `--max-n M`, `--horizon SLOTS`,
+/// `--engine stepped|event` (see [`trace_dir_from_args`] for the
+/// `--trace DIR` flag).
 pub fn sweep_params_from_args() -> SweepParams {
     let args: Vec<String> = std::env::args().collect();
     let mut params = if args.iter().any(|a| a == "--quick") {
@@ -55,5 +56,29 @@ pub fn sweep_params_from_args() -> SweepParams {
     if let Some(h) = value_of("--horizon") {
         params.horizon = ffd2d_sim::time::SlotDuration(h);
     }
+    if let Some(engine) = engine_from_args() {
+        params.engine = engine;
+    }
     params
+}
+
+/// Parse the `--engine stepped|event` flag shared by the experiment
+/// binaries. `None` when the flag is absent (callers keep their
+/// default, [`ffd2d_core::EngineMode::EventDriven`]); exits with a
+/// usage error on an unrecognized value — both engines produce
+/// identical results (see `tests/engine_equivalence.rs`), so a typo
+/// silently falling back would be invisible in the output.
+pub fn engine_from_args() -> Option<ffd2d_core::EngineMode> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--engine")?;
+    match args
+        .get(i + 1)
+        .and_then(|v| ffd2d_core::EngineMode::from_flag(v))
+    {
+        Some(mode) => Some(mode),
+        None => {
+            eprintln!("--engine requires a value: 'stepped' or 'event'");
+            std::process::exit(2);
+        }
+    }
 }

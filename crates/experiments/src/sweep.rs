@@ -21,7 +21,7 @@
 use serde::{Deserialize, Serialize};
 
 use ffd2d_baseline::FstProtocol;
-use ffd2d_core::{ScenarioConfig, StProtocol, World};
+use ffd2d_core::{EngineMode, ScenarioConfig, StProtocol, World};
 use ffd2d_metrics::{Figure, Series, Summary, Table};
 use ffd2d_parallel::{run_trials, SweepConfig};
 use ffd2d_sim::time::SlotDuration;
@@ -37,6 +37,10 @@ pub struct SweepParams {
     pub horizon: SlotDuration,
     /// Master seed.
     pub master_seed: u64,
+    /// Engine execution strategy. Outcome-neutral (locked by
+    /// `tests/engine_equivalence.rs`): the published CSVs are identical
+    /// under both modes, only wall clock changes.
+    pub engine: EngineMode,
 }
 
 impl Default for SweepParams {
@@ -46,6 +50,7 @@ impl Default for SweepParams {
             trials: 5,
             horizon: SlotDuration(30_000),
             master_seed: 0x0F19_3D2D,
+            engine: EngineMode::default(),
         }
     }
 }
@@ -58,6 +63,7 @@ impl SweepParams {
             trials: 2,
             horizon: SlotDuration(30_000),
             master_seed: 7,
+            engine: EngineMode::default(),
         }
     }
 }
@@ -109,10 +115,12 @@ pub fn run_paper_sweep(params: &SweepParams) -> SweepReport {
         trials: params.trials,
     };
     let horizon = params.horizon;
+    let engine = params.engine;
     let grouped = run_trials(&params.node_counts, &cfg, |&n, ctx| {
         let scenario = ScenarioConfig::table1(n)
             .seeded(ctx.seed)
-            .with_max_slots(horizon);
+            .with_max_slots(horizon)
+            .with_engine(engine);
         let world = World::new(&scenario);
         let st = StProtocol::run_in(&world);
         let fst = FstProtocol::run_in(&world);
@@ -317,6 +325,20 @@ mod tests {
     }
 
     #[test]
+    fn sweep_csvs_identical_under_both_engines() {
+        // The engine flag is outcome-neutral: the published figure CSVs
+        // must not depend on it.
+        let mut p = SweepParams::quick();
+        p.node_counts = vec![20, 50];
+        p.engine = EngineMode::Stepped;
+        let stepped = run_paper_sweep(&p);
+        p.engine = EngineMode::EventDriven;
+        let event = run_paper_sweep(&p);
+        assert_eq!(stepped.fig3().to_csv(), event.fig3().to_csv());
+        assert_eq!(stepped.fig4_csv(), event.fig4_csv());
+    }
+
+    #[test]
     fn small_n_favors_fst_messages() {
         // The left side of Fig. 4: mesh beats tree on messages at tiny n.
         let params = SweepParams {
@@ -324,6 +346,7 @@ mod tests {
             trials: 2,
             horizon: SlotDuration(60_000),
             master_seed: 3,
+            engine: EngineMode::default(),
         };
         let report = run_paper_sweep(&params);
         let (_, st, fst) = report.cells[0];

@@ -23,6 +23,9 @@
 //! * [`network`] — an idealised (radio-free) coupled population over an
 //!   arbitrary topology; used to validate convergence claims and to
 //!   isolate topology effects from channel effects (ablation A2/A4).
+//! * [`predict`] — memoized phase trajectories: the exact-by-
+//!   construction fast-forward machinery behind the engines'
+//!   event-driven (slot-skipping) execution mode.
 //! * [`sync`] — synchrony metrics: Kuramoto order parameter, circular
 //!   phase spread, firing-group counting.
 
@@ -32,9 +35,11 @@
 pub mod network;
 pub mod oscillator;
 pub mod prc;
+pub mod predict;
 pub mod sync;
 
 pub use network::{CoupledNetwork, SyncOutcome};
 pub use oscillator::PhaseOscillator;
 pub use prc::Prc;
+pub use predict::{Cursor, TrajectoryCache};
 pub use sync::{firing_groups, kuramoto_order, phase_spread};

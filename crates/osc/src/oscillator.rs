@@ -145,6 +145,62 @@ impl PhaseOscillator {
         self.reset_after_fire();
     }
 
+    /// Number of [`tick`](Self::tick) calls until the next fire (always
+    /// ≥ 1). Computed by exact simulation of a copy, so the answer is
+    /// bit-identical to counting repeated `tick()`s — including the
+    /// `1e-12` threshold epsilon. Repeated floating-point accumulation
+    /// of `1/T` has no closed form that reproduces it, so prediction
+    /// *is* simulation (bounded by one period).
+    pub fn ticks_to_next_fire(&self) -> u32 {
+        let mut probe = *self;
+        let mut k = 1u32;
+        while !probe.tick() {
+            k += 1;
+        }
+        k
+    }
+
+    /// Absolute slot of the next fire, given that this oscillator's
+    /// state already reflects every tick up to and including
+    /// `current_slot`.
+    pub fn next_fire_slot(&self, current_slot: u64) -> u64 {
+        current_slot + self.ticks_to_next_fire() as u64
+    }
+
+    /// Fast-forward by `slots` ticks, returning how many of them fired.
+    /// This is literally `slots` repeated [`tick`](Self::tick) calls —
+    /// the only implementation that reproduces the stepped phase
+    /// accumulation bit-for-bit (refractory countdown and threshold
+    /// epsilon included).
+    pub fn advance_by(&mut self, slots: u64) -> u32 {
+        let mut fires = 0u32;
+        for _ in 0..slots {
+            if self.tick() {
+                fires += 1;
+            }
+        }
+        fires
+    }
+
+    /// Adopt a precomputed non-firing fast-forward: `phase` must be the
+    /// exact value that `ticks` repeated `tick()` calls (none of them
+    /// firing) would produce from the current state. The caller owns
+    /// that contract — in practice the event engines'
+    /// [`TrajectoryCache`](crate::predict::TrajectoryCache), whose
+    /// trajectories are built by the same tick arithmetic. The
+    /// refractory countdown is folded in closed form
+    /// (ticks only ever decrement it toward zero, independent of the
+    /// phase).
+    pub fn warp(&mut self, phase: f64, ticks: u64) {
+        debug_assert!(
+            phase < 1.0 - 1e-12,
+            "warp target phase {phase} would have fired"
+        );
+        let dec = ticks.min(u64::from(u32::MAX)) as u32;
+        self.refractory_left = self.refractory_left.saturating_sub(dec);
+        self.phase = phase;
+    }
+
     fn reset_after_fire(&mut self) {
         self.phase = 0.0;
         self.refractory_left = self.refractory_slots;
@@ -326,6 +382,48 @@ mod tests {
         osc.align_to_fire(2);
         assert!((osc.phase() - 0.02).abs() < 1e-12);
         assert!(osc.in_refractory());
+    }
+
+    #[test]
+    fn next_fire_prediction_matches_ticking() {
+        for phase in [0.0, 0.25, 0.5, 0.999, 0.37] {
+            let osc = PhaseOscillator::new(phase, 100, 12);
+            let k = osc.ticks_to_next_fire();
+            assert!(k >= 1);
+            let mut probe = osc;
+            for _ in 0..k - 1 {
+                assert!(!probe.tick(), "fired early (phase {phase})");
+            }
+            assert!(probe.tick(), "missed the predicted fire (phase {phase})");
+            assert_eq!(osc.next_fire_slot(41), 41 + k as u64);
+        }
+    }
+
+    #[test]
+    fn advance_by_equals_repeated_ticks() {
+        let mut fast = PhaseOscillator::new(0.42, 100, 12);
+        let mut slow = fast;
+        let mut slow_fires = 0;
+        for _ in 0..777 {
+            if slow.tick() {
+                slow_fires += 1;
+            }
+        }
+        assert_eq!(fast.advance_by(777), slow_fires);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn warp_matches_non_firing_ticks() {
+        let prc = Prc::from_dissipation(3.0, 0.5);
+        let mut osc = PhaseOscillator::new(0.97, 100, 12);
+        assert!(osc.on_pulse(&prc)); // fires, enters refractory
+        let mut warped = osc;
+        let k = osc.ticks_to_next_fire() as u64 - 1;
+        assert_eq!(osc.advance_by(k), 0);
+        warped.warp(osc.phase(), k);
+        assert_eq!(warped, osc);
+        assert!(!warped.in_refractory(), "refractory folded away");
     }
 
     #[test]

@@ -84,4 +84,77 @@ proptest! {
         // is_synchronized agrees with spread.
         prop_assert_eq!(is_synchronized(&phases, t2), phase_spread(&phases) <= t2);
     }
+
+    /// Event-engine contract: `next_fire_slot` names exactly the slot
+    /// where repeated ticking fires, for arbitrary starting state —
+    /// including phases a hair under the `1 - 1e-12` threshold and
+    /// refractory windows longer than the remaining ramp (the
+    /// countdown must not delay the fire).
+    #[test]
+    fn next_fire_slot_matches_ticking(
+        phase in 0.0f64..0.999,
+        period in 2u32..400,
+        refractory_frac in 0.0f64..1.0,
+        now in 0u64..10_000,
+    ) {
+        // Keep the refractory legal (shorter than the period).
+        let refractory = (refractory_frac * (period - 1) as f64) as u32;
+        let osc = PhaseOscillator::new(phase, period, refractory);
+        let predicted = osc.next_fire_slot(now);
+        prop_assert!(predicted > now, "a fire must be strictly in the future");
+        let mut probe = osc;
+        let mut slot = now;
+        loop {
+            slot += 1;
+            if probe.tick() {
+                break;
+            }
+            prop_assert!(slot <= now + period as u64 + 1, "never fired");
+        }
+        prop_assert_eq!(predicted, slot);
+    }
+
+    /// `advance_by(k)` is indistinguishable from `k` single ticks for
+    /// arbitrary `(phase, period, refractory)` — same fire count, same
+    /// phase bits, same refractory state — even when the window
+    /// straddles several fires and the post-fire refractory reset.
+    #[test]
+    fn advance_by_equals_repeated_ticks(
+        phase in 0.0f64..0.999,
+        period in 2u32..200,
+        refractory_frac in 0.0f64..1.0,
+        k in 0u64..1_000,
+    ) {
+        // Keep the refractory legal (shorter than the period).
+        let refractory = (refractory_frac * (period - 1) as f64) as u32;
+        let mut fast = PhaseOscillator::new(phase, period, refractory);
+        let mut slow = fast;
+        let fast_fires = fast.advance_by(k);
+        let mut slow_fires = 0u32;
+        for _ in 0..k {
+            if slow.tick() {
+                slow_fires += 1;
+            }
+        }
+        prop_assert_eq!(fast_fires, slow_fires);
+        prop_assert_eq!(fast, slow, "state diverged after {} ticks", k);
+        // And the two futures stay aligned past the window.
+        prop_assert_eq!(fast.ticks_to_next_fire(), slow.ticks_to_next_fire());
+    }
+
+    /// Threshold-epsilon edge: starting exactly on `(T-1)/T`, one tick
+    /// lands on the `1 - 1e-12` threshold and must fire — prediction,
+    /// fast-forward, and literal ticking all agree on it.
+    #[test]
+    fn epsilon_threshold_fire_is_predicted(period in 2u32..500, refractory in 0u32..1) {
+        let start = (period - 1) as f64 / period as f64;
+        let osc = PhaseOscillator::new(start, period, refractory);
+        prop_assert_eq!(osc.ticks_to_next_fire(), 1, "one tick from the brink");
+        prop_assert_eq!(osc.next_fire_slot(41), 42);
+        let mut fast = osc;
+        prop_assert_eq!(fast.advance_by(1), 1);
+        let mut slow = osc;
+        prop_assert!(slow.tick());
+        prop_assert_eq!(fast, slow);
+    }
 }

@@ -133,6 +133,15 @@ impl Medium {
         counters: &mut Counters,
         sink: &mut S,
     ) -> Vec<DeliveryReport> {
+        if transmissions.is_empty() {
+            // Nothing on the air: every report is empty, no counter
+            // moves and no channel sample is drawn. The early-out turns
+            // an idle slot from an O(receivers) scan over nothing into
+            // O(1) (the fast resolver in ffd2d-core has the same
+            // shortcut), which is what both engine modes lean on for
+            // idle slots.
+            return vec![DeliveryReport::default(); receivers.len()];
+        }
         // Tally transmissions by codec.
         for tx in transmissions {
             match tx.codec() {

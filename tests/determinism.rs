@@ -58,6 +58,7 @@ fn sweep_reports_are_bitwise_reproducible() {
         trials: 2,
         horizon: SlotDuration(60_000),
         master_seed: 42,
+        ..Default::default()
     };
     let a = run_paper_sweep(&params);
     let b = run_paper_sweep(&params);

@@ -1,0 +1,152 @@
+//! Equivalence harness: the event-driven slot-skipping engine versus
+//! the stepped reference loop.
+//!
+//! Both protocol engines ([`StProtocol`] and the FST baseline) can run
+//! in two modes (see [`EngineMode`]): the *stepped* loop materializes
+//! every slot of the horizon, while the *event-driven* loop jumps
+//! between wake-up slots (oscillator fires, phase-transition
+//! boundaries, unicast deliveries, handshake deadlines) and
+//! fast-forwards the idle stretches through memoized phase
+//! trajectories. The fast-forward replays the exact `tick()`
+//! arithmetic, RNG streams are only consumed at materialized slots, and
+//! the wake set provably covers every slot where anything beyond pure
+//! phase ticking happens — so the two modes must agree **bit for bit**.
+//!
+//! The harness locks that down at n ∈ {50, 200, 500} across the three
+//! channel regimes of `tests/medium_equivalence.rs`:
+//!
+//! * the paper's Table-I channel (σ = 10 dB shadowing + Rayleigh
+//!   fading) in the dense 100 m × 100 m arena;
+//! * the ideal channel in a 2 km arena (multi-fragment topologies,
+//!   genuine spatial pruning);
+//! * a low-shadowing (σ = 3 dB), no-fading 1 km arena.
+//!
+//! For each cell it asserts identical [`RunOutcome`]s for both
+//! protocols, and byte-identical same-seed JSONL traces across the two
+//! engine settings (traced runs always materialize every slot — the
+//! configured mode must not leak into the log bytes).
+
+use ffd2d::baseline::FstProtocol;
+use ffd2d::core::{EngineMode, ScenarioConfig, StProtocol};
+use ffd2d::radio::fading::FadingModel;
+use ffd2d::sim::deployment::Meters;
+use ffd2d::sim::time::SlotDuration;
+use ffd2d::trace::JsonlSink;
+
+/// Table-I channel in the paper arena (dense, heavy shadowing+fading).
+fn table1_cfg(n: usize, seed: u64, horizon: u64) -> ScenarioConfig {
+    ScenarioConfig::table1(n)
+        .seeded(seed)
+        .with_max_slots(SlotDuration(horizon))
+}
+
+/// Ideal channel in a 2 km arena: sparse contact graphs, so the runs
+/// spend most slots idle — the regime the event engine is built for.
+fn sparse_ideal_cfg(n: usize, seed: u64, horizon: u64) -> ScenarioConfig {
+    let mut cfg = table1_cfg(n, seed, horizon).ideal_channel();
+    cfg.sim.area_width = Meters(2000.0);
+    cfg.sim.area_height = Meters(2000.0);
+    cfg
+}
+
+/// Low shadowing, no fading, 1 km arena.
+fn sparse_shadowed_cfg(n: usize, seed: u64, horizon: u64) -> ScenarioConfig {
+    let mut cfg = table1_cfg(n, seed, horizon).with_shadowing(3.0);
+    cfg.channel.fading = FadingModel::None;
+    cfg.sim.area_width = Meters(1000.0);
+    cfg.sim.area_height = Meters(1000.0);
+    cfg
+}
+
+/// Assert stepped ≡ event-driven for both protocols on `cfg`:
+/// bit-identical `RunOutcome`s and byte-identical JSONL traces.
+fn assert_engines_agree(label: &str, cfg: &ScenarioConfig) {
+    let stepped = cfg.clone().with_engine(EngineMode::Stepped);
+    let event = cfg.clone().with_engine(EngineMode::EventDriven);
+
+    let st_stepped = StProtocol::run(&stepped);
+    let st_event = StProtocol::run(&event);
+    assert_eq!(st_stepped, st_event, "ST outcomes diverged: {label}");
+
+    let fst_stepped = FstProtocol::run(&stepped);
+    let fst_event = FstProtocol::run(&event);
+    assert_eq!(fst_stepped, fst_event, "FST outcomes diverged: {label}");
+
+    // Same seed ⇒ byte-identical JSONL logs, whichever mode the config
+    // asks for, and tracing must not perturb the (event-mode) outcome.
+    let st_trace = |cfg: &ScenarioConfig| {
+        let mut sink = JsonlSink::new(Vec::new());
+        let out = StProtocol::run_traced(cfg, &mut sink);
+        assert!(sink.io_error().is_none());
+        (out, sink.into_inner())
+    };
+    let (out_s, log_s) = st_trace(&stepped);
+    let (out_e, log_e) = st_trace(&event);
+    assert_eq!(out_s, st_stepped, "tracing perturbed the ST run: {label}");
+    assert_eq!(out_e, st_event, "tracing perturbed the ST run: {label}");
+    assert_eq!(log_s, log_e, "ST JSONL bytes diverged: {label}");
+    assert!(!log_s.is_empty(), "empty ST trace: {label}");
+
+    let fst_trace = |cfg: &ScenarioConfig| {
+        let mut sink = JsonlSink::new(Vec::new());
+        let out = FstProtocol::run_traced(cfg, &mut sink);
+        assert!(sink.io_error().is_none());
+        (out, sink.into_inner())
+    };
+    let (fout_s, flog_s) = fst_trace(&stepped);
+    let (fout_e, flog_e) = fst_trace(&event);
+    assert_eq!(fout_s, fst_stepped, "tracing perturbed FST: {label}");
+    assert_eq!(fout_e, fst_event, "tracing perturbed FST: {label}");
+    assert_eq!(flog_s, flog_e, "FST JSONL bytes diverged: {label}");
+    assert!(!flog_s.is_empty(), "empty FST trace: {label}");
+}
+
+// The horizons shrink with n to keep the (stepped, traced) reference
+// runs affordable in debug builds; equivalence does not require
+// convergence, but the n=50 cells do converge and so exercise the
+// early-exit path under both engines.
+
+#[test]
+fn engines_agree_at_n50_table1() {
+    assert_engines_agree("n=50 table1", &table1_cfg(50, 0xA11CE, 30_000));
+}
+
+#[test]
+fn engines_agree_at_n200_table1() {
+    assert_engines_agree("n=200 table1", &table1_cfg(200, 0xB0B, 8_000));
+}
+
+#[test]
+fn engines_agree_at_n500_table1() {
+    assert_engines_agree("n=500 table1", &table1_cfg(500, 0x5EED, 2_000));
+}
+
+#[test]
+fn engines_agree_at_n50_sparse_ideal() {
+    assert_engines_agree("n=50 sparse-ideal", &sparse_ideal_cfg(50, 1, 30_000));
+}
+
+#[test]
+fn engines_agree_at_n200_sparse_ideal() {
+    assert_engines_agree("n=200 sparse-ideal", &sparse_ideal_cfg(200, 2, 8_000));
+}
+
+#[test]
+fn engines_agree_at_n500_sparse_ideal() {
+    assert_engines_agree("n=500 sparse-ideal", &sparse_ideal_cfg(500, 3, 2_000));
+}
+
+#[test]
+fn engines_agree_at_n50_sparse_shadowed() {
+    assert_engines_agree("n=50 sparse-shadowed", &sparse_shadowed_cfg(50, 7, 30_000));
+}
+
+#[test]
+fn engines_agree_at_n200_sparse_shadowed() {
+    assert_engines_agree("n=200 sparse-shadowed", &sparse_shadowed_cfg(200, 8, 8_000));
+}
+
+#[test]
+fn engines_agree_at_n500_sparse_shadowed() {
+    assert_engines_agree("n=500 sparse-shadowed", &sparse_shadowed_cfg(500, 9, 2_000));
+}

@@ -212,6 +212,68 @@ fn equivalent_at_n500_sparse_shadowed() {
 }
 
 #[test]
+fn empty_slots_are_equivalent_and_move_no_counter() {
+    // Idle slots interleaved with busy ones: both resolvers early-out
+    // on an empty transmission list — no decodes, no counter movement,
+    // and the accumulator state carried across the idle gap stays
+    // consistent. (The protocol engines skip idle slots entirely; this
+    // pins the shortcut both rely on.)
+    let cfg = table1_cfg(20, 5);
+    let world = World::new(&cfg);
+    let channel = world.reference_channel();
+    let reference = Medium::default();
+    let receivers: Vec<u32> = (0..20).collect();
+    let mut fast = FastMedium::new(20);
+    let mut ref_counters = Counters::new();
+    let mut fast_counters = Counters::new();
+    for slot in 0..60u64 {
+        let txs = if slot % 3 == 0 {
+            schedule(20, 5, slot)
+        } else {
+            Vec::new()
+        };
+        let transmissions: Vec<Transmission> = txs.iter().map(|&s| Transmission::new(s)).collect();
+        let before = ref_counters;
+        let reports = reference.resolve(
+            &channel,
+            Slot(slot),
+            &transmissions,
+            &receivers,
+            &mut ref_counters,
+        );
+        assert_eq!(reports.len(), receivers.len());
+        if txs.is_empty() {
+            assert!(reports.iter().all(|r| r.decoded.is_empty()));
+            assert_eq!(ref_counters, before, "idle slot moved a counter");
+        }
+        let mut expected: Vec<(u32, u32)> = Vec::new();
+        for (rx, report) in receivers.iter().zip(&reports) {
+            for sig in &report.decoded {
+                expected.push((*rx, sig.sender));
+            }
+        }
+        expected.sort_unstable();
+        let mut got: Vec<(u32, u32)> = Vec::new();
+        fast.resolve(
+            &world,
+            Slot(slot),
+            &txs,
+            &mut fast_counters,
+            |rx, sig, _p| {
+                got.push((rx, sig.sender));
+            },
+        );
+        got.sort_unstable();
+        assert_eq!(got, expected, "decode reports diverged at slot {slot}");
+        assert_eq!(
+            fast_counters, ref_counters,
+            "counters diverged at slot {slot}"
+        );
+    }
+    assert!(ref_counters.rx_ok > 0, "vacuous run");
+}
+
+#[test]
 fn half_duplex_transmitters_hear_nothing_in_both_media() {
     // Every device transmits: no decodes, identical counters.
     let cfg = table1_cfg(20, 4);
