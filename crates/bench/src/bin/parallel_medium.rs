@@ -1,0 +1,164 @@
+//! Intra-run parallel medium resolution wall-clock comparison.
+//!
+//! Usage: parallel_medium [--trials K] [--slots S]
+//!
+//! Drives [`FastMedium`] directly — no protocol on top, so the timing
+//! isolates per-slot medium resolution — on the paper's dense Table-I
+//! arena (100 m × 100 m, full shadowing + fading), where every
+//! transmission is audible to most of the population and the
+//! `(transmissions × receivers)` accumulation loop dominates. Each slot
+//! resolves a mixed RACH1/RACH2 batch of 32 transmitters against all
+//! n receivers, under worker counts {off, 1, 2, 4, 8}.
+//!
+//! The sharding is bit-identical by construction (locked by
+//! `tests/medium_equivalence.rs`); this bench asserts the counters
+//! match across arms anyway — a speedup over diverging work would be
+//! bogus — and then reports only wall clock. Speedup saturates at the
+//! host's physical core count (see the `cpus` field in the output; on
+//! a single-core host every arm times the same loop).
+//!
+//! Writes `BENCH_parallel_medium.json` at the repo root: median
+//! wall-clock per worker count at n ∈ {1000, 5000}, speedups vs. the
+//! sequential baseline, and host metadata. Run with `--release` —
+//! debug timings are meaningless.
+
+use std::time::Instant;
+
+use ffd2d_core::world::FastMedium;
+use ffd2d_core::{Parallelism, ScenarioConfig, World};
+use ffd2d_phy::codec::ServiceClass;
+use ffd2d_phy::frame::{FrameKind, ProximitySignal};
+use ffd2d_sim::counters::Counters;
+use ffd2d_sim::time::Slot;
+
+/// The per-slot transmission batch: 32 senders spread over the
+/// population, alternating fires (RACH1) and handshakes (RACH2) like a
+/// converging merge round does.
+fn batch(n: usize, slot: u64) -> Vec<ProximitySignal> {
+    (0..32u32)
+        .map(|k| {
+            let sender = (k as u64 * (n as u64 / 32) + slot * 7) % n as u64;
+            let sender = sender as u32;
+            let kind = if k % 2 == 0 {
+                FrameKind::Fire {
+                    fragment: sender,
+                    age: 0,
+                }
+            } else {
+                FrameKind::HConnect {
+                    to: sender ^ 1,
+                    fragment: sender,
+                    fragment_size: 1,
+                    head: sender,
+                }
+            };
+            ProximitySignal {
+                sender,
+                service: ServiceClass::KEEP_ALIVE,
+                kind,
+            }
+        })
+        .collect()
+}
+
+/// Resolve `slots` consecutive slots and return (counters, seconds).
+fn run_arm(world: &World, n: usize, slots: u64) -> (Counters, f64) {
+    let mut medium = FastMedium::new(n);
+    let mut counters = Counters::new();
+    let mut delivered = 0u64;
+    let start = Instant::now();
+    for s in 0..slots {
+        let txs = batch(n, s);
+        medium.resolve(world, Slot(s), &txs, &mut counters, |_, _, _| {
+            delivered += 1;
+        });
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert!(delivered > 0, "dense arena must deliver");
+    (counters, secs)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let value_of = |flag: &str| -> Option<u64> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    let trials = value_of("--trials").unwrap_or(3) as usize;
+    let slots = value_of("--slots").unwrap_or(60);
+
+    let arms: [(&str, Parallelism); 5] = [
+        ("off", Parallelism::Off),
+        ("1", Parallelism::Fixed(1)),
+        ("2", Parallelism::Fixed(2)),
+        ("4", Parallelism::Fixed(4)),
+        ("8", Parallelism::Fixed(8)),
+    ];
+
+    let mut rows = String::new();
+    for (i, &n) in [1000usize, 5000].iter().enumerate() {
+        let mut baseline_counters = None;
+        let mut baseline_secs = 0.0;
+        let mut cells = String::new();
+        for (j, &(label, parallelism)) in arms.iter().enumerate() {
+            let cfg = ScenarioConfig::table1(n)
+                .seeded(0x9A_11)
+                .with_parallelism(parallelism);
+            let world = World::new(&cfg);
+            let mut times: Vec<f64> = Vec::with_capacity(trials);
+            let mut counters = Counters::new();
+            for _ in 0..trials {
+                let (c, secs) = run_arm(&world, n, slots);
+                counters = c;
+                times.push(secs);
+            }
+            times.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+            let median = times[times.len() / 2];
+            match &baseline_counters {
+                None => {
+                    baseline_counters = Some(counters);
+                    baseline_secs = median;
+                }
+                Some(base) => assert_eq!(
+                    &counters, base,
+                    "arm {label} diverged at n={n} — bench would be bogus"
+                ),
+            }
+            let speedup = baseline_secs / median;
+            println!("n={n:5}  workers={label:3}  {median:8.3}s  speedup {speedup:5.2}x");
+            if j > 0 {
+                cells.push_str(", ");
+            }
+            cells.push_str(&format!(
+                "{{\"workers\": \"{label}\", \"secs\": {median:.6}, \"speedup\": {speedup:.3}}}"
+            ));
+        }
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!("    {{\"n\": {n}, \"arms\": [{cells}]}}"));
+    }
+
+    let cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_medium\",\n  \
+         \"scenario\": {{\"arena\": \"Table I, 100m x 100m, shadowing + fading\", \
+         \"tx_per_slot\": 32, \"slots\": {slots}, \"seed\": 39441, \"trials\": {trials}, \
+         \"metric\": \"median wall-clock seconds, FastMedium only\"}},\n  \
+         \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {cpus}, \
+         \"profile\": \"{}\"}},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+    );
+    std::fs::write("BENCH_parallel_medium.json", &json).expect("write BENCH_parallel_medium.json");
+    eprintln!("wrote BENCH_parallel_medium.json (host cpus: {cpus})");
+}

@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+pub use ffd2d_parallel::Parallelism;
 use ffd2d_phy::codec::ServiceClass;
 use ffd2d_radio::channel::ChannelConfig;
 use ffd2d_sim::config::SimConfig;
@@ -119,6 +120,12 @@ pub struct ScenarioConfig {
     pub protocol: ProtocolConfig,
     /// Engine execution strategy (outcome-neutral; see [`EngineMode`]).
     pub engine: EngineMode,
+    /// Intra-run sharding of per-slot medium resolution
+    /// (outcome-neutral; see [`Parallelism`]). `Off` by default: sweeps
+    /// parallelize across trials and a second layer would oversubscribe
+    /// the cores; single-run workloads (trace replays, benches,
+    /// `--trials 1`) turn it on.
+    pub parallelism: Parallelism,
 }
 
 impl ScenarioConfig {
@@ -131,6 +138,7 @@ impl ScenarioConfig {
             channel: ChannelConfig::default(),
             protocol: ProtocolConfig::default(),
             engine: EngineMode::default(),
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -168,6 +176,13 @@ impl ScenarioConfig {
     /// Builder: select the engine execution strategy.
     pub fn with_engine(mut self, engine: EngineMode) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Builder: select the intra-run medium parallelism (outcome
+    /// neutral; see [`Parallelism`]).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -237,6 +252,15 @@ mod tests {
             Some(EngineMode::EventDriven)
         );
         assert_eq!(EngineMode::from_flag("bogus"), None);
+    }
+
+    #[test]
+    fn parallelism_defaults_to_off() {
+        assert_eq!(ScenarioConfig::table1(10).parallelism, Parallelism::Off);
+        let c = ScenarioConfig::table1(10).with_parallelism(Parallelism::Fixed(4));
+        assert_eq!(c.parallelism, Parallelism::Fixed(4));
+        assert!(c.validate().is_ok());
+        assert_eq!(Parallelism::from_flag("auto"), Some(Parallelism::Auto));
     }
 
     #[test]

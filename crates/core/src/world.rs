@@ -47,6 +47,7 @@ use rand::Rng;
 use ffd2d_graph::adjacency::WeightedGraph;
 use ffd2d_graph::spatial::SpatialGrid;
 use ffd2d_graph::weight::W;
+use ffd2d_parallel::sharded_for_each;
 use ffd2d_phy::codec::{RachCodec, ServiceClass};
 use ffd2d_phy::frame::ProximitySignal;
 use ffd2d_radio::channel::{Channel, ChannelConfig};
@@ -307,15 +308,26 @@ const LINK_CACHE_WAYS: usize = 8;
 /// A `FastMedium` is bound to the [`World`] it first resolves against:
 /// its memoised link gains are keyed by device ids and invalidated via
 /// [`World::version`]. Do not share one across worlds.
+///
+/// ## Intra-run parallelism
+///
+/// When the world's [`ScenarioConfig::parallelism`] engages, the
+/// accumulation phase shards the (sorted) touched-cell list into
+/// contiguous chunks, one scoped worker per chunk, each with its own
+/// persistent [`ShardScratch`]. A receiver lives in exactly one grid
+/// cell, so its `(receiver, codec)` accumulators are written by exactly
+/// one shard, in the same cell-ascending / submission order the
+/// sequential loop uses — the accumulated `best`/`second`/`count` are
+/// bit-identical for any worker count. Delivery (counters, trace
+/// events, the `deliver` callback) then runs sequentially over all
+/// shards' touched keys in globally sorted order, which is exactly the
+/// sequential resolver's order — so traced runs are byte-identical too.
 #[derive(Debug)]
 pub struct FastMedium {
-    /// Per `(receiver, codec)` accumulator epoch (slot-stamped).
-    stamp: Vec<u64>,
-    best: Vec<f64>,
-    second: Vec<f64>,
-    best_tx: Vec<u32>,
-    count: Vec<u32>,
-    touched: Vec<u32>,
+    n: usize,
+    /// Per-shard accumulators and link caches; `shards[0]` doubles as
+    /// the sequential path. Grown on demand, never shrunk.
+    shards: Vec<ShardScratch>,
     /// Per-device transmit epoch (half-duplex tracking).
     tx_stamp: Vec<u64>,
     epoch: u64,
@@ -323,59 +335,72 @@ pub struct FastMedium {
     cell_stamp: Vec<u64>,
     cell_txs: Vec<Vec<u32>>,
     touched_cells: Vec<u32>,
+    /// `(key, shard)` pairs gathered per slot for globally-ordered
+    /// delivery (allocation reused).
+    delivery: Vec<(u32, u32)>,
+    /// `world.version() + 1` the link caches are valid for (0 = none).
+    cache_world_version: u64,
+}
+
+/// One shard's private accumulation state, persistent across slots:
+/// epoch-stamped per-`(receiver, codec)` collision accumulators plus a
+/// per-receiver LRU of memoised mean link gains. Each shard owns its
+/// LRU outright (hits, victims and the logical clock stay private), so
+/// workers never contend — and the sequential path is just shard 0.
+#[derive(Debug, Clone)]
+struct ShardScratch {
+    /// Per `(receiver, codec)` accumulator epoch (slot-stamped).
+    stamp: Vec<u64>,
+    best: Vec<f64>,
+    second: Vec<f64>,
+    best_tx: Vec<u32>,
+    count: Vec<u32>,
+    touched: Vec<u32>,
     /// Per-receiver LRU of mean link gains: `LINK_CACHE_WAYS` ways per
     /// device. `u32::MAX` marks an empty way.
     cache_peer: Vec<u32>,
     cache_mean: Vec<f64>,
     cache_used: Vec<u64>,
     tick: u64,
-    /// `world.version() + 1` the cache is valid for (0 = none yet).
-    cache_world_version: u64,
+    /// Above-threshold (detected) pairs seen this slot.
+    detected: u64,
 }
 
-impl FastMedium {
-    /// A resolver for `n` devices.
-    pub fn new(n: usize) -> FastMedium {
-        FastMedium {
+/// Read-only per-slot inputs shared by every accumulation shard.
+struct SlotCtx<'a> {
+    world: &'a World,
+    transmissions: &'a [ProximitySignal],
+    slot: Slot,
+    epoch: u64,
+    /// Per-cell transmission batches (only cells stamped this epoch
+    /// appear in the shard's cell list).
+    cell_txs: &'a [Vec<u32>],
+    /// Per-device transmit epoch (half-duplex tracking).
+    tx_stamp: &'a [u64],
+    threshold: f64,
+    mean_floor: f64,
+}
+
+impl ShardScratch {
+    fn new(n: usize) -> ShardScratch {
+        ShardScratch {
             stamp: vec![0; n * 2],
             best: vec![f64::NEG_INFINITY; n * 2],
             second: vec![f64::NEG_INFINITY; n * 2],
             best_tx: vec![0; n * 2],
             count: vec![0; n * 2],
             touched: Vec::with_capacity(64),
-            tx_stamp: vec![0; n],
-            epoch: 0,
-            cell_stamp: Vec::new(),
-            cell_txs: Vec::new(),
-            touched_cells: Vec::new(),
             cache_peer: vec![u32::MAX; n * LINK_CACHE_WAYS],
             cache_mean: vec![f64::NEG_INFINITY; n * LINK_CACHE_WAYS],
             cache_used: vec![0; n * LINK_CACHE_WAYS],
             tick: 0,
-            cache_world_version: 0,
+            detected: 0,
         }
     }
 
-    #[inline]
-    fn codec_index(codec: RachCodec) -> usize {
-        match codec {
-            RachCodec::Rach1 => 0,
-            RachCodec::Rach2 => 1,
-        }
-    }
-
-    /// Size scratch state to `world` and drop the link cache if the
-    /// world re-bucketed since the last slot.
-    fn sync_with(&mut self, world: &World) {
-        let cells = world.grid.cell_count();
-        if self.cell_stamp.len() != cells {
-            self.cell_stamp = vec![0; cells];
-            self.cell_txs = vec![Vec::new(); cells];
-        }
-        if self.cache_world_version != world.version() + 1 {
-            self.cache_world_version = world.version() + 1;
-            self.cache_peer.iter_mut().for_each(|p| *p = u32::MAX);
-        }
+    /// Invalidate every memoised link gain (the world re-bucketed).
+    fn drop_link_cache(&mut self) {
+        self.cache_peer.iter_mut().for_each(|p| *p = u32::MAX);
     }
 
     /// Mean link gain `sender → receiver` through the per-receiver LRU.
@@ -398,6 +423,99 @@ impl FastMedium {
         self.cache_mean[victim] = mean;
         self.cache_used[victim] = self.tick;
         mean
+    }
+
+    /// Accumulate one contiguous chunk of touched cells: cells in the
+    /// given (ascending) order, receivers ascending within a cell,
+    /// transmissions in submission order — the sequential loop's exact
+    /// visit order, so the per-key results cannot depend on how cells
+    /// were chunked across shards.
+    fn accumulate(&mut self, ctx: &SlotCtx<'_>, cells: &[u32]) {
+        for &cell in cells {
+            let cell = cell as usize;
+            let txs_here = &ctx.cell_txs[cell];
+            for &r in ctx.world.grid.cell_items(cell) {
+                if ctx.tx_stamp[r as usize] == ctx.epoch {
+                    continue; // half-duplex: transmitting receivers are deaf
+                }
+                for &ti in txs_here {
+                    let tx = &ctx.transmissions[ti as usize];
+                    let mean = self.mean_cached(ctx.world, tx.sender, r);
+                    if mean < ctx.mean_floor {
+                        // Provably below threshold for any fading draw;
+                        // tallied by the closed-form reconstruction.
+                        continue;
+                    }
+                    let p = mean
+                        + ctx
+                            .world
+                            .fading
+                            .gain(ctx.world.fading_seed, tx.sender, r, ctx.slot)
+                            .get();
+                    if p < ctx.threshold {
+                        continue;
+                    }
+                    self.detected += 1;
+                    let k = r as usize * 2 + FastMedium::codec_index(tx.codec());
+                    if self.stamp[k] != ctx.epoch {
+                        self.stamp[k] = ctx.epoch;
+                        self.best[k] = f64::NEG_INFINITY;
+                        self.second[k] = f64::NEG_INFINITY;
+                        self.count[k] = 0;
+                        self.touched.push(k as u32);
+                    }
+                    self.count[k] += 1;
+                    if p > self.best[k] {
+                        self.second[k] = self.best[k];
+                        self.best[k] = p;
+                        self.best_tx[k] = ti;
+                    } else if p > self.second[k] {
+                        self.second[k] = p;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl FastMedium {
+    /// A resolver for `n` devices.
+    pub fn new(n: usize) -> FastMedium {
+        FastMedium {
+            n,
+            shards: vec![ShardScratch::new(n)],
+            tx_stamp: vec![0; n],
+            epoch: 0,
+            cell_stamp: Vec::new(),
+            cell_txs: Vec::new(),
+            touched_cells: Vec::new(),
+            delivery: Vec::with_capacity(64),
+            cache_world_version: 0,
+        }
+    }
+
+    #[inline]
+    fn codec_index(codec: RachCodec) -> usize {
+        match codec {
+            RachCodec::Rach1 => 0,
+            RachCodec::Rach2 => 1,
+        }
+    }
+
+    /// Size scratch state to `world` and drop the link caches if the
+    /// world re-bucketed since the last slot.
+    fn sync_with(&mut self, world: &World) {
+        let cells = world.grid.cell_count();
+        if self.cell_stamp.len() != cells {
+            self.cell_stamp = vec![0; cells];
+            self.cell_txs = vec![Vec::new(); cells];
+        }
+        if self.cache_world_version != world.version() + 1 {
+            self.cache_world_version = world.version() + 1;
+            for shard in &mut self.shards {
+                shard.drop_link_cache();
+            }
+        }
     }
 
     /// Resolve one slot: every decoded `(receiver, signal, rx_dbm)`
@@ -449,7 +567,6 @@ impl FastMedium {
         self.sync_with(world);
         self.epoch += 1;
         let epoch = self.epoch;
-        self.touched.clear();
         self.touched_cells.clear();
 
         let mut distinct_senders = 0u64;
@@ -491,53 +608,62 @@ impl FastMedium {
         // ascending within a cell, transmissions in submission order.
         self.touched_cells.sort_unstable();
 
+        // Shard the (sorted) cell list when the configured parallelism
+        // engages on this slot's workload. A receiver's accumulators
+        // live with its home cell's shard, so any chunking yields
+        // bit-identical per-key results (see the struct docs).
+        let pairs: u64 = self
+            .touched_cells
+            .iter()
+            .map(|&c| {
+                self.cell_txs[c as usize].len() as u64
+                    * world.grid.cell_items(c as usize).len() as u64
+            })
+            .sum();
+        let workers = world
+            .config()
+            .parallelism
+            .workers_for(pairs)
+            .min(self.touched_cells.len().max(1));
+        if self.shards.len() < workers {
+            let n = self.n;
+            self.shards.resize_with(workers, || ShardScratch::new(n));
+        }
+        for shard in &mut self.shards[..workers] {
+            shard.detected = 0;
+            shard.touched.clear();
+        }
+
         let threshold = world.threshold_dbm();
         let mean_floor = threshold - world.fade_headroom_db();
+        let ctx = SlotCtx {
+            world,
+            transmissions,
+            slot,
+            epoch,
+            cell_txs: &self.cell_txs,
+            tx_stamp: &self.tx_stamp,
+            threshold,
+            mean_floor,
+        };
+        sharded_for_each(
+            &self.touched_cells,
+            &mut self.shards[..workers],
+            |_, cells, shard| shard.accumulate(&ctx, cells),
+        );
+
+        // Gather every shard's touched keys for globally-ordered
+        // delivery. Keys are unique across shards (one home cell per
+        // receiver), so sorting the pairs sorts by key.
         let mut detected = 0u64;
-        for ci in 0..self.touched_cells.len() {
-            let cell = self.touched_cells[ci] as usize;
-            let txs_here = std::mem::take(&mut self.cell_txs[cell]);
-            for &r in world.grid.cell_items(cell) {
-                if self.tx_stamp[r as usize] == epoch {
-                    continue; // half-duplex: transmitting receivers are deaf
-                }
-                for &ti in &txs_here {
-                    let tx = &transmissions[ti as usize];
-                    let mean = self.mean_cached(world, tx.sender, r);
-                    if mean < mean_floor {
-                        // Provably below threshold for any fading draw;
-                        // tallied by the closed-form reconstruction below.
-                        continue;
-                    }
-                    let p = mean
-                        + world
-                            .fading
-                            .gain(world.fading_seed, tx.sender, r, slot)
-                            .get();
-                    if p < threshold {
-                        continue;
-                    }
-                    detected += 1;
-                    let k = r as usize * 2 + Self::codec_index(tx.codec());
-                    if self.stamp[k] != epoch {
-                        self.stamp[k] = epoch;
-                        self.best[k] = f64::NEG_INFINITY;
-                        self.second[k] = f64::NEG_INFINITY;
-                        self.count[k] = 0;
-                        self.touched.push(k as u32);
-                    }
-                    self.count[k] += 1;
-                    if p > self.best[k] {
-                        self.second[k] = self.best[k];
-                        self.best[k] = p;
-                        self.best_tx[k] = ti;
-                    } else if p > self.second[k] {
-                        self.second[k] = p;
-                    }
-                }
+        self.delivery.clear();
+        for (si, shard) in self.shards[..workers].iter().enumerate() {
+            detected += shard.detected;
+            for &k in &shard.touched {
+                self.delivery.push((k, si as u32));
             }
-            self.cell_txs[cell] = txs_here;
         }
+        self.delivery.sort_unstable();
 
         // Exact counter reconstruction: the reference walks every
         // (transmission, non-transmitting receiver) pair and counts it
@@ -554,28 +680,30 @@ impl FastMedium {
         }
 
         // Deterministic delivery order regardless of tx iteration
-        // pattern: sort touched keys.
-        self.touched.sort_unstable();
-        for i in 0..self.touched.len() {
-            let k = self.touched[i] as usize;
+        // pattern or sharding: keys ascending, exactly the sequential
+        // resolver's order.
+        for i in 0..self.delivery.len() {
+            let (k32, si) = self.delivery[i];
+            let k = k32 as usize;
+            let shard = &self.shards[si as usize];
             let receiver = (k / 2) as DeviceId;
-            let n_signals = self.count[k];
+            let n_signals = shard.count[k];
             let decoded = if n_signals == 1 {
                 true
             } else {
-                self.best[k] >= self.second[k] + world.capture_margin_db
+                shard.best[k] >= shard.second[k] + world.capture_margin_db
             };
             if decoded {
                 counters.rx_ok += 1;
                 counters.rx_collision += (n_signals - 1) as u64;
-                let sig = transmissions[self.best_tx[k] as usize];
+                let sig = transmissions[shard.best_tx[k] as usize];
                 if S::ENABLED {
                     sink.event(&TraceEvent::RxDecode {
                         slot: slot.0,
                         receiver,
                         sender: sig.sender,
                         codec: sig.codec().trace_codec(),
-                        rx_dbm: self.best[k],
+                        rx_dbm: shard.best[k],
                     });
                     if n_signals > 1 {
                         sink.event(&TraceEvent::RxCollision {
@@ -586,7 +714,7 @@ impl FastMedium {
                         });
                     }
                 }
-                deliver(receiver, &sig, self.best[k], sink);
+                deliver(receiver, &sig, shard.best[k], sink);
             } else {
                 counters.rx_collision += n_signals as u64;
                 if S::ENABLED {
@@ -839,6 +967,51 @@ mod tests {
                 assert_eq!(g.has_edge(a, b), w.mean_rx_dbm(a, b) >= w.threshold_dbm());
             }
         }
+    }
+
+    #[test]
+    fn sharded_fast_medium_is_bit_identical_to_sequential() {
+        // Same seeded world resolved under Off / Fixed{1, 2, 8, 64}:
+        // delivered (receiver, sender, power-bits) triples, counters and
+        // the full trace-event stream must match exactly. Fixed(64) at
+        // n=48 exercises the clamp to the touched-cell count.
+        use ffd2d_parallel::Parallelism;
+        use ffd2d_trace::BufferSink;
+        let base = small_cfg(48, 17);
+        let txs: Vec<ProximitySignal> = (0..10).map(|k| fire(k * 5)).collect();
+
+        let run = |parallelism: Parallelism| {
+            let cfg = base.clone().with_parallelism(parallelism);
+            let w = World::new(&cfg);
+            let mut fast = FastMedium::new(48);
+            let mut counters = Counters::new();
+            let mut sink = BufferSink::new();
+            let mut delivered: Vec<(u32, u32, u64)> = Vec::new();
+            for slot in [0u64, 2, 9, 30] {
+                fast.resolve_traced(
+                    &w,
+                    Slot(slot),
+                    &txs,
+                    &mut counters,
+                    &mut sink,
+                    |r, sig, p, _| delivered.push((r, sig.sender, p.to_bits())),
+                );
+            }
+            (delivered, counters, sink.events)
+        };
+
+        let baseline = run(Parallelism::Off);
+        assert!(baseline.1.rx_ok > 0, "scenario must exercise decodes");
+        for workers in [1, 2, 8, 64] {
+            let sharded = run(Parallelism::Fixed(workers));
+            assert_eq!(sharded.0, baseline.0, "deliveries, {workers} workers");
+            assert_eq!(sharded.1, baseline.1, "counters, {workers} workers");
+            assert_eq!(sharded.2, baseline.2, "events, {workers} workers");
+        }
+        // Auto at this tiny n stays sequential and must agree too.
+        let auto = run(Parallelism::Auto);
+        assert_eq!(auto.0, baseline.0);
+        assert_eq!(auto.1, baseline.1);
     }
 
     #[test]

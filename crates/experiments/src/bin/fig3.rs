@@ -2,13 +2,17 @@
 //! nodes, ST vs. FST).
 //!
 //! Usage: fig3 [--quick] [--trials N] [--max-n M] [--horizon SLOTS]
-//!             [--engine stepped|event] [--trace DIR]
+//!             [--engine stepped|event] [--medium-workers off|auto|K]
+//!             [--trace DIR]
 //! Writes results/fig3.csv (+fig4.csv — same sweep; run `fig4` for the
 //! message view). With `--trace DIR`, additionally replays trial 0 of
 //! each node count with tracing on: JSONL event logs under DIR and
 //! per-slot timeline CSVs under results/ (see `trace_inspect`).
-//! `--engine` selects the slot engine (default: event); the CSVs are
-//! bit-identical under both settings, only wall clock differs.
+//! `--engine` selects the slot engine (default: event);
+//! `--medium-workers` shards per-slot medium resolution inside a run
+//! (default: off for sweeps, auto when `--trials 1`). Both knobs are
+//! outcome-neutral: the CSVs are bit-identical under every setting,
+//! only wall clock differs.
 
 use ffd2d_experiments::sweep::run_paper_sweep;
 

@@ -4,9 +4,13 @@
 //! rx loss) that explain the message-count divergence.
 //!
 //! Usage: fig4 [--quick] [--trials N] [--max-n M] [--horizon SLOTS]
-//!             [--engine stepped|event] [--trace DIR]
-//! `--engine` selects the slot engine (default: event); the CSVs are
-//! bit-identical under both settings, only wall clock differs.
+//!             [--engine stepped|event] [--medium-workers off|auto|K]
+//!             [--trace DIR]
+//! `--engine` selects the slot engine (default: event);
+//! `--medium-workers` shards per-slot medium resolution inside a run
+//! (default: off for sweeps, auto when `--trials 1`). Both knobs are
+//! outcome-neutral: the CSVs are bit-identical under every setting,
+//! only wall clock differs.
 
 use ffd2d_experiments::sweep::run_paper_sweep;
 

@@ -32,8 +32,15 @@ pub use trace::{trace_dir_from_args, write_sweep_traces};
 
 /// Parse the common sweep flags shared by the `fig3`/`fig4` binaries:
 /// `--quick`, `--trials N`, `--max-n M`, `--horizon SLOTS`,
-/// `--engine stepped|event` (see [`trace_dir_from_args`] for the
-/// `--trace DIR` flag).
+/// `--engine stepped|event`, `--medium-workers off|auto|K` (see
+/// [`trace_dir_from_args`] for the `--trace DIR` flag).
+///
+/// Medium parallelism defaults by workload shape: a multi-trial sweep
+/// keeps it `Off` (the trial layer already fills the cores), while
+/// `--trials 1` flips it to `Auto` so a single run can use them. An
+/// explicit `--medium-workers` always wins. Either way the results are
+/// bit-identical (locked by `tests/medium_equivalence.rs` and
+/// `tests/engine_equivalence.rs`) — only wall clock moves.
 pub fn sweep_params_from_args() -> SweepParams {
     let args: Vec<String> = std::env::args().collect();
     let mut params = if args.iter().any(|a| a == "--quick") {
@@ -59,6 +66,11 @@ pub fn sweep_params_from_args() -> SweepParams {
     if let Some(engine) = engine_from_args() {
         params.engine = engine;
     }
+    params.medium = match medium_workers_from_args() {
+        Some(p) => p,
+        None if params.trials == 1 => ffd2d_core::Parallelism::Auto,
+        None => params.medium,
+    };
     params
 }
 
@@ -78,6 +90,26 @@ pub fn engine_from_args() -> Option<ffd2d_core::EngineMode> {
         Some(mode) => Some(mode),
         None => {
             eprintln!("--engine requires a value: 'stepped' or 'event'");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse the `--medium-workers off|auto|K` flag shared by the
+/// experiment binaries. `None` when the flag is absent (callers apply
+/// their workload-shaped default); exits with a usage error on an
+/// unrecognized value — the knob is outcome-neutral, so a typo
+/// silently falling back would be invisible in the output.
+pub fn medium_workers_from_args() -> Option<ffd2d_core::Parallelism> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--medium-workers")?;
+    match args
+        .get(i + 1)
+        .and_then(|v| ffd2d_core::Parallelism::from_flag(v))
+    {
+        Some(p) => Some(p),
+        None => {
+            eprintln!("--medium-workers requires a value: 'off', 'auto', or a worker count");
             std::process::exit(2);
         }
     }

@@ -21,7 +21,7 @@
 use serde::{Deserialize, Serialize};
 
 use ffd2d_baseline::FstProtocol;
-use ffd2d_core::{EngineMode, ScenarioConfig, StProtocol, World};
+use ffd2d_core::{EngineMode, Parallelism, ScenarioConfig, StProtocol, World};
 use ffd2d_metrics::{Figure, Series, Summary, Table};
 use ffd2d_parallel::{run_trials, SweepConfig};
 use ffd2d_sim::time::SlotDuration;
@@ -41,6 +41,12 @@ pub struct SweepParams {
     /// `tests/engine_equivalence.rs`): the published CSVs are identical
     /// under both modes, only wall clock changes.
     pub engine: EngineMode,
+    /// Intra-run medium parallelism. Also outcome-neutral. `Off` by
+    /// default: the sweep already parallelizes across trials, and a
+    /// second layer would oversubscribe the cores. Single-run
+    /// invocations (`--trials 1`) flip this to `Auto` via
+    /// [`crate::sweep_params_from_args`].
+    pub medium: Parallelism,
 }
 
 impl Default for SweepParams {
@@ -51,6 +57,7 @@ impl Default for SweepParams {
             horizon: SlotDuration(30_000),
             master_seed: 0x0F19_3D2D,
             engine: EngineMode::default(),
+            medium: Parallelism::default(),
         }
     }
 }
@@ -64,6 +71,7 @@ impl SweepParams {
             horizon: SlotDuration(30_000),
             master_seed: 7,
             engine: EngineMode::default(),
+            medium: Parallelism::default(),
         }
     }
 }
@@ -116,11 +124,13 @@ pub fn run_paper_sweep(params: &SweepParams) -> SweepReport {
     };
     let horizon = params.horizon;
     let engine = params.engine;
+    let medium = params.medium;
     let grouped = run_trials(&params.node_counts, &cfg, |&n, ctx| {
         let scenario = ScenarioConfig::table1(n)
             .seeded(ctx.seed)
             .with_max_slots(horizon)
-            .with_engine(engine);
+            .with_engine(engine)
+            .with_parallelism(medium);
         let world = World::new(&scenario);
         let st = StProtocol::run_in(&world);
         let fst = FstProtocol::run_in(&world);
@@ -339,6 +349,19 @@ mod tests {
     }
 
     #[test]
+    fn sweep_csvs_identical_under_medium_parallelism() {
+        // The intra-run medium sharding is outcome-neutral too: forcing
+        // it on cannot move the published CSVs.
+        let mut p = SweepParams::quick();
+        p.node_counts = vec![20, 50];
+        let off = run_paper_sweep(&p);
+        p.medium = Parallelism::Fixed(2);
+        let sharded = run_paper_sweep(&p);
+        assert_eq!(off.fig3().to_csv(), sharded.fig3().to_csv());
+        assert_eq!(off.fig4_csv(), sharded.fig4_csv());
+    }
+
+    #[test]
     fn small_n_favors_fst_messages() {
         // The left side of Fig. 4: mesh beats tree on messages at tiny n.
         let params = SweepParams {
@@ -347,6 +370,7 @@ mod tests {
             horizon: SlotDuration(60_000),
             master_seed: 3,
             engine: EngineMode::default(),
+            medium: Parallelism::default(),
         };
         let report = run_paper_sweep(&params);
         let (_, st, fst) = report.cells[0];

@@ -53,11 +53,20 @@ pub fn write_sweep_traces(params: &SweepParams, dir: &Path) -> io::Result<Vec<Pa
         trials: params.trials,
     };
     let mut written = Vec::new();
+    // Replays are single runs, so there is no trial layer to oversubscribe:
+    // upgrade `Off` to `Auto` (sharding is byte-identical on the JSONL —
+    // locked by `tests/medium_equivalence.rs` — so this is pure wall clock).
+    // An explicit `--medium-workers` choice is kept as-is.
+    let medium = match params.medium {
+        ffd2d_core::Parallelism::Off => ffd2d_core::Parallelism::Auto,
+        chosen => chosen,
+    };
     for (param_index, &n) in params.node_counts.iter().enumerate() {
         let seed = TrialCtx::new(&cfg, param_index, 0).seed;
         let scenario = ScenarioConfig::table1(n)
             .seeded(seed)
-            .with_max_slots(params.horizon);
+            .with_max_slots(params.horizon)
+            .with_parallelism(medium);
         let world = World::new(&scenario);
         written.push(trace_one(dir, &format!("st_n{n}"), |sink| {
             let mut timeline = TimelineSink::new();

@@ -12,20 +12,28 @@
 //!   land in their own slots, so the output is identical to the
 //!   sequential map regardless of thread count
 //!   ([`pool::parallel_map_with_workers`] pins the count for the
-//!   determinism suite).
+//!   determinism suite), plus [`pool::sharded_for_each`]: contiguous
+//!   chunks with per-shard scratch state, the primitive behind
+//!   deterministic *intra-run* medium sharding.
 //! * [`sweep`] — the experiment-shaped layer: a parameter grid × trial
 //!   count, each cell reduced with `ffd2d-metrics`-style mergeable
 //!   accumulators, with deterministic per-trial seeds derived from
 //!   `(master seed, param index, trial index)` — thread schedule cannot
 //!   perturb any random draw.
+//! * [`parallelism`] — the [`Parallelism`] knob (`Off | Fixed(k) |
+//!   Auto`) by which a *single* run shards its per-slot medium
+//!   resolution; `Off` by default so the two layers never
+//!   oversubscribe the cores.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod parallelism;
 pub mod pool;
 pub mod sweep;
 
-pub use pool::{available_workers, parallel_map, parallel_map_with_workers};
+pub use parallelism::Parallelism;
+pub use pool::{available_workers, parallel_map, parallel_map_with_workers, sharded_for_each};
 pub use sweep::{
     run_sweep, run_trials, run_trials_with_workers, SweepConfig, SweepResult, TrialCtx,
 };

@@ -20,10 +20,21 @@ use std::sync::Mutex;
 
 /// Number of worker threads to use: all available parallelism, capped
 /// so tiny task lists do not spawn idle threads.
+///
+/// The `FFD2D_WORKERS` environment variable, when set to a positive
+/// integer, overrides the detected hardware parallelism — CI pins the
+/// pool size with it, and users can rein in a shared machine without
+/// code changes. Invalid or zero values are ignored.
 pub fn available_workers(tasks: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let hw = std::env::var("FFD2D_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
     hw.min(tasks).max(1)
 }
 
@@ -97,6 +108,60 @@ where
         .collect()
 }
 
+/// Shard `items` into `scratches.len()` contiguous chunks and run
+/// `f(chunk_start, chunk, scratch)` for each non-empty chunk, one
+/// scoped thread per shard, each with exclusive access to its own
+/// scratch state.
+///
+/// This is the primitive behind deterministic *intra-run* parallelism:
+/// the chunk boundaries are a pure function of `items.len()` and the
+/// shard count (near-equal contiguous splits, earlier chunks take the
+/// remainder), each scratch is written by exactly one thread, and the
+/// caller merges the scratches in shard order — which *is* input order,
+/// because the chunks are contiguous. Whatever the thread schedule, the
+/// merged result is identical to running the chunks sequentially.
+///
+/// With a single scratch the chunk runs inline on the caller's thread —
+/// no spawn, no synchronization — so an unengaged parallel path costs
+/// nothing over the plain loop.
+///
+/// Panics in workers propagate to the caller when the scope joins.
+pub fn sharded_for_each<T, C, F>(items: &[T], scratches: &mut [C], f: F)
+where
+    T: Sync,
+    C: Send,
+    F: Fn(usize, &[T], &mut C) + Sync,
+{
+    let shards = scratches.len();
+    assert!(shards > 0, "sharded_for_each needs at least one scratch");
+    let len = items.len();
+    if shards == 1 || len <= 1 {
+        if len > 0 {
+            f(0, items, &mut scratches[0]);
+        }
+        return;
+    }
+    let base = len / shards;
+    let rem = len % shards;
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = &mut scratches[..];
+        let mut start = 0;
+        for i in 0..shards {
+            let size = base + usize::from(i < rem);
+            let (scratch, tail) = rest.split_first_mut().expect("shard count checked");
+            rest = tail;
+            if size == 0 {
+                continue;
+            }
+            let chunk = &items[start..start + size];
+            let chunk_start = start;
+            scope.spawn(move || f(chunk_start, chunk, scratch));
+            start += size;
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +232,80 @@ mod tests {
                 parallel_map_with_workers(&inputs, Some(workers), |&x| x.wrapping_mul(x) ^ 17);
             assert_eq!(out, baseline, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn env_override_pins_worker_count() {
+        // Other tests only assert `>= 1` bounds, so flipping the
+        // variable here cannot perturb them.
+        std::env::set_var("FFD2D_WORKERS", "3");
+        assert_eq!(available_workers(1_000_000), 3);
+        assert_eq!(available_workers(2), 2, "task cap still applies");
+        std::env::set_var("FFD2D_WORKERS", "0");
+        assert!(available_workers(64) >= 1, "zero is ignored");
+        std::env::set_var("FFD2D_WORKERS", "not-a-number");
+        assert!(available_workers(64) >= 1, "garbage is ignored");
+        std::env::remove_var("FFD2D_WORKERS");
+    }
+
+    #[test]
+    fn sharded_chunks_cover_input_in_order() {
+        let items: Vec<u32> = (0..103).collect();
+        for shards in [1usize, 2, 3, 8, 103, 200] {
+            let mut scratches: Vec<Vec<(usize, Vec<u32>)>> = vec![Vec::new(); shards];
+            sharded_for_each(&items, &mut scratches, |start, chunk, scratch| {
+                scratch.push((start, chunk.to_vec()));
+            });
+            // Each shard got at most one contiguous chunk; concatenated
+            // in shard order they reproduce the input exactly.
+            let mut rebuilt: Vec<(usize, Vec<u32>)> = Vec::new();
+            for s in &scratches {
+                assert!(s.len() <= 1, "shards={shards}");
+                rebuilt.extend(s.iter().cloned());
+            }
+            let mut expect_start = 0;
+            let mut flat = Vec::new();
+            for (start, chunk) in rebuilt {
+                assert_eq!(start, expect_start, "shards={shards}");
+                expect_start += chunk.len();
+                flat.extend(chunk);
+            }
+            assert_eq!(flat, items, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_scratches_merge_like_sequential() {
+        // Summing per shard and merging equals the sequential sum,
+        // whatever the shard count.
+        let items: Vec<u64> = (0..1000).map(|x| x * x + 1).collect();
+        let expect: u64 = items.iter().sum();
+        for shards in [1usize, 2, 5, 8, 32] {
+            let mut sums = vec![0u64; shards];
+            sharded_for_each(&items, &mut sums, |_, chunk, sum| {
+                *sum += chunk.iter().sum::<u64>();
+            });
+            assert_eq!(sums.iter().sum::<u64>(), expect, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_empty_input_is_a_no_op() {
+        let mut scratches = vec![0u32; 4];
+        sharded_for_each(&[] as &[u8], &mut scratches, |_, _, s| *s += 1);
+        assert_eq!(scratches, vec![0; 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sharded_worker_panic_propagates() {
+        let items: Vec<u32> = (0..64).collect();
+        let mut scratches = vec![(); 4];
+        sharded_for_each(&items, &mut scratches, |start, _, _| {
+            if start > 0 {
+                panic!("boom");
+            }
+        });
     }
 
     #[test]

@@ -17,10 +17,11 @@
 //! The resolver also tallies [`Counters`] so experiments can attribute
 //! losses (Fig. 4's message accounting and the collision ablations).
 
+use ffd2d_parallel::{sharded_for_each, Parallelism};
 use ffd2d_sim::counters::Counters;
 use ffd2d_sim::deployment::DeviceId;
 use ffd2d_sim::time::Slot;
-use ffd2d_trace::{NullSink, TraceEvent, TraceSink};
+use ffd2d_trace::{BufferSink, NullSink, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 
 use crate::codec::RachCodec;
@@ -67,6 +68,11 @@ pub struct MediumConfig {
     /// Capture margin: the strongest same-codec signal decodes if it
     /// exceeds the runner-up by at least this many dB.
     pub capture_margin: Db,
+    /// Intra-slot sharding of the per-receiver loop. Every setting
+    /// produces bit-identical reports, counters and trace bytes (each
+    /// channel sample is a pure function of `(tx, rx, slot)`); the
+    /// knob only trades threads for wall clock.
+    pub parallelism: Parallelism,
 }
 
 impl Default for MediumConfig {
@@ -74,6 +80,7 @@ impl Default for MediumConfig {
         MediumConfig {
             // 6 dB is a conventional preamble capture threshold.
             capture_margin: Db(6.0),
+            parallelism: Parallelism::Off,
         }
     }
 }
@@ -90,10 +97,58 @@ impl Default for Medium {
     }
 }
 
+/// Per-slot precomputation shared (read-only) by every receiver shard:
+/// the transmitting-sender set and the per-codec transmission lists,
+/// each built once instead of re-derived per receiver.
+struct PreparedSlot {
+    slot: Slot,
+    /// Senders transmitting this slot, sorted for membership tests.
+    senders: Vec<DeviceId>,
+    /// Transmissions partitioned by codec (indexed like
+    /// [`RachCodec::ALL`]), submission order preserved within a codec —
+    /// the same order the old per-receiver filter visited them in.
+    by_codec: [Vec<Transmission>; 2],
+}
+
+impl PreparedSlot {
+    fn new(slot: Slot, transmissions: &[Transmission]) -> PreparedSlot {
+        let mut senders: Vec<DeviceId> = transmissions.iter().map(|t| t.sender()).collect();
+        senders.sort_unstable();
+        let mut by_codec: [Vec<Transmission>; 2] = [Vec::new(), Vec::new()];
+        for &tx in transmissions {
+            let ci = RachCodec::ALL
+                .iter()
+                .position(|&c| c == tx.codec())
+                .expect("codec is in ALL");
+            by_codec[ci].push(tx);
+        }
+        PreparedSlot {
+            slot,
+            senders,
+            by_codec,
+        }
+    }
+}
+
+/// One worker's private output in the sharded path: merged in shard
+/// (= receiver) order after the scope joins.
+#[derive(Default)]
+struct RxShard {
+    counters: Counters,
+    reports: Vec<DeliveryReport>,
+    events: BufferSink,
+}
+
 impl Medium {
     /// A medium with the given configuration.
     pub fn new(config: MediumConfig) -> Medium {
         Medium { config }
+    }
+
+    /// Builder: set the intra-slot [`Parallelism`] mode.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Medium {
+        self.config.parallelism = parallelism;
+        self
     }
 
     /// Resolve one slot.
@@ -158,28 +213,102 @@ impl Medium {
             }
         }
 
+        let prepared = PreparedSlot::new(slot, transmissions);
+        let workers = self
+            .config
+            .parallelism
+            .workers_for(transmissions.len() as u64 * receivers.len() as u64)
+            .min(receivers.len().max(1));
+
         let mut reports: Vec<DeliveryReport> = Vec::with_capacity(receivers.len());
+        let below_threshold = if workers <= 1 {
+            let before = counters.rx_below_threshold;
+            self.resolve_receivers(channel, &prepared, receivers, counters, &mut reports, sink);
+            counters.rx_below_threshold - before
+        } else {
+            // Sharded path: contiguous receiver ranges, each worker
+            // tallying into private counters/reports/event buffers. Every
+            // channel sample is a pure function of `(tx, rx, slot)`, so
+            // per-receiver outcomes cannot depend on the sharding; the
+            // merge below concatenates in shard order — which is receiver
+            // order — making reports, counters and the event stream
+            // bit-identical to the sequential loop for any worker count.
+            let mut shards: Vec<RxShard> = Vec::new();
+            shards.resize_with(workers, RxShard::default);
+            sharded_for_each(receivers, &mut shards, |_, chunk, shard| {
+                if S::ENABLED {
+                    self.resolve_receivers(
+                        channel,
+                        &prepared,
+                        chunk,
+                        &mut shard.counters,
+                        &mut shard.reports,
+                        &mut shard.events,
+                    );
+                } else {
+                    self.resolve_receivers(
+                        channel,
+                        &prepared,
+                        chunk,
+                        &mut shard.counters,
+                        &mut shard.reports,
+                        &mut NullSink,
+                    );
+                }
+            });
+            let mut below = 0u64;
+            for shard in &mut shards {
+                below += shard.counters.rx_below_threshold;
+                counters.merge(&shard.counters);
+                reports.append(&mut shard.reports);
+                if S::ENABLED {
+                    shard.events.flush_into(sink);
+                }
+            }
+            below
+        };
+
+        if S::ENABLED && below_threshold > 0 {
+            sink.event(&TraceEvent::RxBelowThreshold {
+                slot: slot.0,
+                count: below_threshold,
+            });
+        }
+        reports
+    }
+
+    /// The per-receiver decode loop over one contiguous receiver range:
+    /// appends one report per receiver and tallies receptions (including
+    /// `rx_below_threshold`; the caller emits the per-slot aggregate
+    /// event). Both the sequential path (full range, caller's sink) and
+    /// each parallel shard (sub-range, private buffer) run exactly this.
+    fn resolve_receivers<S: TraceSink>(
+        &self,
+        channel: &Channel<'_>,
+        prepared: &PreparedSlot,
+        receivers: &[DeviceId],
+        counters: &mut Counters,
+        reports: &mut Vec<DeliveryReport>,
+        sink: &mut S,
+    ) {
+        let slot = prepared.slot;
         // Scratch: audible same-codec signals at the current receiver.
         let mut audible: Vec<(f64, &Transmission)> = Vec::new();
-        let mut below_threshold = 0u64;
-
         for &rx in receivers {
             let mut report = DeliveryReport::default();
-            let rx_is_txing = transmissions.iter().any(|t| t.sender() == rx);
-            if rx_is_txing {
+            if prepared.senders.binary_search(&rx).is_ok() {
                 // Half-duplex: a transmitting device hears nothing.
                 reports.push(report);
                 continue;
             }
-            for codec in RachCodec::ALL {
+            for (ci, codec) in RachCodec::ALL.into_iter().enumerate() {
                 audible.clear();
-                for tx in transmissions.iter().filter(|t| t.codec() == codec) {
+                for tx in &prepared.by_codec[ci] {
                     let sample = channel.sample(tx.sender(), rx, slot);
                     if sample.detected {
                         audible.push((sample.rx_power.get(), tx));
                     } else {
                         counters.rx_below_threshold += 1;
-                        below_threshold += 1;
                     }
                 }
                 match audible.len() {
@@ -236,13 +365,6 @@ impl Medium {
             }
             reports.push(report);
         }
-        if S::ENABLED && below_threshold > 0 {
-            sink.event(&TraceEvent::RxBelowThreshold {
-                slot: slot.0,
-                count: below_threshold,
-            });
-        }
-        reports
     }
 }
 
@@ -372,6 +494,45 @@ mod tests {
         assert_eq!(reports.len(), 2);
         assert!(reports.iter().all(|r| r.decoded.is_empty()));
         assert_eq!(counters.total_tx(), 0);
+    }
+
+    #[test]
+    fn sharded_resolver_is_bit_identical_to_sequential() {
+        // 40 devices on a line, a mix of codecs and collisions; the
+        // sharded resolver must reproduce the sequential one exactly —
+        // reports, counters, and the event stream in the same order —
+        // for any worker count (Fixed pins bypass the Auto cutoff).
+        let dep = line_deployment(&(0..40).map(|i| i as f64 * 9.0).collect::<Vec<_>>());
+        let ch = Channel::new(&dep, ChannelConfig::ideal(), 1);
+        let receivers: Vec<u32> = (0..40).collect();
+        let txs = [
+            fire(0),
+            fire(13),
+            hconnect(25, 24),
+            fire(39),
+            hconnect(7, 8),
+        ];
+
+        let run = |parallelism: Parallelism| {
+            let medium = Medium::default().with_parallelism(parallelism);
+            let mut counters = Counters::new();
+            let mut events = BufferSink::new();
+            let reports =
+                medium.resolve_traced(&ch, Slot(3), &txs, &receivers, &mut counters, &mut events);
+            let decoded: Vec<Vec<ProximitySignal>> =
+                reports.into_iter().map(|r| r.decoded).collect();
+            (decoded, counters, events.events)
+        };
+
+        let baseline = run(Parallelism::Off);
+        assert!(baseline.1.rx_ok > 0, "vacuous scenario");
+        assert!(baseline.1.rx_collision > 0, "no collisions exercised");
+        for workers in [1usize, 2, 8, 64] {
+            let sharded = run(Parallelism::Fixed(workers));
+            assert_eq!(sharded.0, baseline.0, "reports, workers={workers}");
+            assert_eq!(sharded.1, baseline.1, "counters, workers={workers}");
+            assert_eq!(sharded.2, baseline.2, "events, workers={workers}");
+        }
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub mod timeline;
 
 pub use event::{Codec, FrameLabel, ProtoPhase, RejectReason, TraceEvent};
 pub use jsonl::{encode_event, parse_event, JsonlSink};
-pub use sink::{CountingSink, NullSink, TeeSink, TraceSink};
+pub use sink::{BufferSink, CountingSink, NullSink, TeeSink, TraceSink};
 pub use timeline::{TimelineRow, TimelineSink};
