@@ -21,10 +21,12 @@ use rand::Rng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use ffd2d_chaos::{ChurnEvent, ChurnKind, FaultPlan, FrameFate};
 use ffd2d_core::device::{CouplingMode, Device};
 use ffd2d_core::outcome::RunOutcome;
 use ffd2d_core::scenario::{EngineMode, ScenarioConfig};
 use ffd2d_core::world::{FastMedium, World};
+use ffd2d_core::NeighborTable;
 use ffd2d_osc::prc::Prc;
 use ffd2d_osc::predict::{Cursor, TrajectoryCache};
 use ffd2d_osc::sync::phase_spread;
@@ -34,7 +36,7 @@ use ffd2d_sim::counters::Counters;
 use ffd2d_sim::deployment::DeviceId;
 use ffd2d_sim::rng::{StreamId, StreamRng};
 use ffd2d_sim::time::{Slot, SlotDuration};
-use ffd2d_trace::{NullSink, ProtoPhase, TraceEvent, TraceSink};
+use ffd2d_trace::{FaultKind, NullSink, ProtoPhase, TraceEvent, TraceSink};
 
 /// Fire transmissions are staggered over this many slots (same value as
 /// the ST engine, so the comparison is apples-to-apples).
@@ -102,6 +104,24 @@ struct FstEngine<'w, S: TraceSink, const EV: bool> {
     pending_scratch: Vec<ProximitySignal>,
     tol: f64,
     ground_truth_links: u64,
+    // --- Fault injection & churn (dormant when the plan is none) ---
+    /// Per-device liveness (all `true` without churn).
+    active: Vec<bool>,
+    /// Any churn scheduled at all? Gates every liveness check so the
+    /// fault-free path stays branch-cheap and bit-identical.
+    churned: bool,
+    /// Remaining churn events, sorted by slot.
+    churn_events: Vec<ChurnEvent>,
+    /// Index of the next unapplied churn event.
+    next_churn: usize,
+    /// Devices whose oscillator period differs from nominal (clock
+    /// skew): they cannot use the shared trajectory cache.
+    skewed: Vec<bool>,
+    /// Key for the stateless frame-fate draws.
+    chaos_key: u64,
+    /// Slot of the last scheduled fault, if any — the re-convergence
+    /// reference point.
+    last_fault_slot: Option<u64>,
     // --- Event-driven machinery (dormant when `EV` is false) ---
     /// Candidate wake-up slots (bare slot numbers; spurious entries are
     /// harmless).
@@ -125,6 +145,11 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
         let cfg = world.config();
         let n = world.n();
         let seed = cfg.sim.seed;
+        let faults = &cfg.faults;
+        let churn_events = faults.sorted_churn();
+        let skewed: Vec<bool> = (0..n as DeviceId)
+            .map(|id| faults.period_for(id, cfg.protocol.period_slots) != cfg.protocol.period_slots)
+            .collect();
         let mut phase_rng = StreamRng::new(seed, 0, StreamId::Phases);
         let devices: Vec<Device> = (0..n as DeviceId)
             .map(|id| {
@@ -132,7 +157,7 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
                     id,
                     n,
                     phase_rng.gen_range(0.0..1.0),
-                    cfg.protocol.period_slots,
+                    faults.period_for(id, cfg.protocol.period_slots),
                     cfg.protocol.refractory_slots,
                     world.services()[id as usize],
                 );
@@ -153,11 +178,64 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
             pending_scratch: Vec::new(),
             tol: 1.0 / cfg.protocol.period_slots as f64 + 1e-12,
             ground_truth_links: 0,
+            active: faults.initial_active(n),
+            churned: !churn_events.is_empty(),
+            churn_events,
+            next_churn: 0,
+            skewed,
+            chaos_key: FaultPlan::chaos_key(seed),
+            last_fault_slot: faults.last_fault_slot(),
             wake: BinaryHeap::new(),
             synced_next: 0,
             touched: Vec::new(),
             cursors: vec![None; n],
             traj: TrajectoryCache::new(cfg.protocol.period_slots),
+        }
+    }
+
+    /// Apply every churn event scheduled for a slot `<= slot`. The mesh
+    /// has no tree state, so a leave just silences the device and a
+    /// join brings it back with a fresh neighbour table; the full-mesh
+    /// coupling re-entrains it without any protocol machinery.
+    fn apply_churn(&mut self, slot: Slot) {
+        let n = self.devices.len();
+        while self.next_churn < self.churn_events.len()
+            && self.churn_events[self.next_churn].slot <= slot.0
+        {
+            let ev = self.churn_events[self.next_churn];
+            self.next_churn += 1;
+            let d = ev.device as usize;
+            match ev.kind {
+                ChurnKind::Leave => {
+                    if !self.active[d] {
+                        continue;
+                    }
+                    self.active[d] = false;
+                    if S::ENABLED {
+                        self.sink.event(&TraceEvent::DeviceLeft {
+                            slot: slot.0,
+                            device: ev.device,
+                            orphaned: 0,
+                        });
+                    }
+                }
+                ChurnKind::Join => {
+                    if self.active[d] {
+                        continue;
+                    }
+                    self.active[d] = true;
+                    self.devices[d].table = NeighborTable::new(n);
+                    if EV {
+                        self.touched.push(ev.device);
+                    }
+                    if S::ENABLED {
+                        self.sink.event(&TraceEvent::DeviceJoined {
+                            slot: slot.0,
+                            device: ev.device,
+                        });
+                    }
+                }
+            }
         }
     }
 
@@ -170,8 +248,16 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
         let n = self.devices.len();
         let s = slot.0;
 
+        // Scheduled churn fires before anything else in the slot.
+        if self.next_churn < self.churn_events.len() {
+            self.apply_churn(slot);
+        }
+
         // Tick and stagger natural fires.
         for i in 0..n {
+            if self.churned && !self.active[i] {
+                continue; // departed devices are frozen
+            }
             if self.devices[i].osc.tick() {
                 let j = self.rng.gen_range(0..FIRE_JITTER);
                 self.fire_queue[(s + j) as usize % FIRE_RING].push((i as DeviceId, j as u8));
@@ -195,63 +281,118 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
             // returned with its capacity intact.
             let mut pending = core::mem::take(&mut self.pending_scratch);
             pending.clear();
-            pending.extend(due.iter().map(|&(id, age)| ProximitySignal {
-                sender: id,
-                service: self.devices[id as usize].service,
-                kind: FrameKind::Fire { fragment: id, age },
-            }));
+            pending.extend(
+                due.iter()
+                    // A device that left after staggering a fire never
+                    // transmits it.
+                    .filter(|&&(id, _)| !self.churned || self.active[id as usize])
+                    .map(|&(id, age)| ProximitySignal {
+                        sender: id,
+                        service: self.devices[id as usize].service,
+                        kind: FrameKind::Fire { fragment: id, age },
+                    }),
+            );
             let mut absorbed: Vec<(DeviceId, u8)> = Vec::new();
+            let mut fault_drops = 0u64;
+            let mut fault_dups = 0u64;
             {
+                let faults = &world.config().faults;
+                let has_frame_faults = faults.has_frame_faults();
+                let chaos_key = self.chaos_key;
+                let active_mask: Option<&[bool]> = if self.churned {
+                    Some(&self.active)
+                } else {
+                    None
+                };
                 let devices = &mut self.devices;
                 let prc = &self.prc;
                 let touched = &mut self.touched;
-                self.medium.resolve_traced(
+                self.medium.resolve_masked(
                     world,
                     slot,
                     &pending,
+                    active_mask,
                     &mut self.counters,
                     &mut *self.sink,
                     |receiver, sig, rx_dbm, sink| {
-                        if let FrameKind::Fire { fragment, age } = sig.kind {
-                            let dev = &mut devices[receiver as usize];
-                            dev.table.observe_fire(
-                                sig.sender,
-                                Dbm(rx_dbm),
-                                sig.service,
-                                fragment,
-                                slot,
-                                &pathloss,
-                                tx_power,
-                            );
-                            let before = if S::ENABLED || EV {
-                                dev.osc.phase()
-                            } else {
-                                0.0
-                            };
-                            let fired = dev.hear_fire_delayed(sig.sender, prc, age as u32);
-                            if S::ENABLED || EV {
-                                let after = dev.osc.phase();
-                                if S::ENABLED && (after != before || fired) {
-                                    sink.event(&TraceEvent::PhaseAdjust {
-                                        slot: slot.0,
-                                        device: receiver,
-                                        sender: sig.sender,
-                                        before,
-                                        after,
-                                        absorbed: fired,
-                                    });
+                        // Frame faults at the engine boundary, after the
+                        // decode decision — same placement and keyed
+                        // draw as the ST engine, so fates are identical
+                        // for identical (slot, sender, receiver).
+                        let mut copies = 1u32;
+                        if has_frame_faults {
+                            match faults.frame_fate(chaos_key, slot.0, sig.sender, receiver) {
+                                FrameFate::Drop => {
+                                    fault_drops += 1;
+                                    if S::ENABLED {
+                                        sink.event(&TraceEvent::FaultInjected {
+                                            slot: slot.0,
+                                            device: receiver,
+                                            sender: sig.sender,
+                                            kind: FaultKind::FrameDrop,
+                                        });
+                                    }
+                                    return;
                                 }
-                                if EV && (after != before || fired) {
-                                    touched.push(receiver);
+                                FrameFate::Duplicate => {
+                                    fault_dups += 1;
+                                    if S::ENABLED {
+                                        sink.event(&TraceEvent::FaultInjected {
+                                            slot: slot.0,
+                                            device: receiver,
+                                            sender: sig.sender,
+                                            kind: FaultKind::FrameDup,
+                                        });
+                                    }
+                                    copies = 2;
                                 }
+                                FrameFate::Deliver => {}
                             }
-                            if fired {
-                                absorbed.push((receiver, age));
+                        }
+                        for _ in 0..copies {
+                            if let FrameKind::Fire { fragment, age } = sig.kind {
+                                let dev = &mut devices[receiver as usize];
+                                dev.table.observe_fire(
+                                    sig.sender,
+                                    Dbm(rx_dbm),
+                                    sig.service,
+                                    fragment,
+                                    slot,
+                                    &pathloss,
+                                    tx_power,
+                                );
+                                let before = if S::ENABLED || EV {
+                                    dev.osc.phase()
+                                } else {
+                                    0.0
+                                };
+                                let fired = dev.hear_fire_delayed(sig.sender, prc, age as u32);
+                                if S::ENABLED || EV {
+                                    let after = dev.osc.phase();
+                                    if S::ENABLED && (after != before || fired) {
+                                        sink.event(&TraceEvent::PhaseAdjust {
+                                            slot: slot.0,
+                                            device: receiver,
+                                            sender: sig.sender,
+                                            before,
+                                            after,
+                                            absorbed: fired,
+                                        });
+                                    }
+                                    if EV && (after != before || fired) {
+                                        touched.push(receiver);
+                                    }
+                                }
+                                if fired {
+                                    absorbed.push((receiver, age));
+                                }
                             }
                         }
                     },
                 );
             }
+            self.counters.fault_dropped_frames += fault_drops;
+            self.counters.fault_dup_frames += fault_dups;
             for (id, age) in absorbed {
                 let j = self.rng.gen_range(1..FIRE_JITTER);
                 self.fire_queue[(s + j) as usize % FIRE_RING]
@@ -265,29 +406,27 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
         due.clear();
         self.fire_queue[ring_at] = due;
 
-        // Per-slot population summary (tracing only).
+        // Per-slot population summary (tracing only). Departed devices
+        // are off the air and excluded from the spread, as in ST.
         if S::ENABLED {
-            self.phases.clear();
-            self.phases
-                .extend(self.devices.iter().map(|d| d.osc.phase()));
+            self.gather_active_phases();
             let discovered: u64 = self
                 .devices
                 .iter()
                 .map(|d| d.table.discovered() as u64)
                 .sum();
+            let spread = phase_spread(&self.phases);
             self.sink.event(&TraceEvent::SlotStats {
                 slot: s,
                 fragments: n as u32,
-                phase_spread: phase_spread(&self.phases),
+                phase_spread: spread,
                 discovered_links: discovered,
                 ground_truth_links: self.ground_truth_links,
             });
         }
 
         if s.is_multiple_of(SYNC_CHECK_INTERVAL) && n > 0 {
-            self.phases.clear();
-            self.phases
-                .extend(self.devices.iter().map(|d| d.osc.phase()));
+            self.gather_active_phases();
             if phase_spread(&self.phases) <= self.tol {
                 if S::ENABLED {
                     self.sink.event(&TraceEvent::Converged { slot: s });
@@ -298,6 +437,19 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
         None
     }
 
+    /// Phases of the live population, into the reusable scratch.
+    fn gather_active_phases(&mut self) {
+        self.phases.clear();
+        let (churned, active) = (self.churned, &self.active);
+        self.phases.extend(
+            self.devices
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !churned || active[*i])
+                .map(|(_, d)| d.osc.phase()),
+        );
+    }
+
     /// Seed the wake queue: slot 0 (its body runs the unconditional
     /// `s % 16 == 0` convergence probe) plus every device's first
     /// natural fire (`k` ticks to fire ⇒ fires in slot `k - 1`).
@@ -306,6 +458,11 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
         for i in 0..self.devices.len() {
             let k = u64::from(self.devices[i].osc.ticks_to_next_fire());
             self.wake.push(Reverse(k - 1));
+        }
+        // Churn slots must materialize (joins/leaves happen at the top
+        // of the slot body).
+        for ev in &self.churn_events {
+            self.wake.push(Reverse(ev.slot));
         }
     }
 
@@ -331,6 +488,11 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
             return;
         }
         for i in 0..self.devices.len() {
+            // Departed devices are frozen, exactly as in the stepped
+            // loop's tick skip.
+            if self.churned && !self.active[i] {
+                continue;
+            }
             let fast = match self.cursors[i] {
                 Some(c) => self.traj.advance(c, ticks),
                 None => None,
@@ -359,7 +521,13 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
     fn post_schedule(&mut self, s: u64) {
         while let Some(v) = self.touched.pop() {
             let phase = self.devices[v as usize].osc.phase();
-            let cur = self.traj.cursor_for_start(phase);
+            // Clock-skewed devices cannot use the nominal-period
+            // trajectory cache; they tick literally.
+            let cur = if self.skewed[v as usize] {
+                None
+            } else {
+                self.traj.cursor_for_start(phase)
+            };
             self.cursors[v as usize] = cur;
             let k = match cur {
                 Some(c) => u64::from(self.traj.ticks_to_fire(c)),
@@ -380,6 +548,7 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
             0
         };
         let mut convergence: Option<u64> = None;
+        let mut reconvergence: Option<u64> = None;
         let mut last_slot = 0u64;
         if S::ENABLED {
             self.sink.event(&TraceEvent::PhaseEnter {
@@ -388,25 +557,49 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
             });
         }
 
+        // As in the ST engine: fault-free runs stop at the first
+        // successful probe; faulted runs continue until a probe succeeds
+        // after the last scheduled fault.
+        let last_fault = self.last_fault_slot;
         let max_slots = world.config().sim.max_slots.0;
         if EV {
             self.schedule_initial();
             while let Some(s) = self.next_wake(max_slots) {
                 self.advance_to(s);
                 last_slot = s;
-                convergence = self.slot_body(Slot(s));
+                let probe = self.slot_body(Slot(s));
                 self.synced_next = s + 1;
-                if convergence.is_some() {
-                    break;
+                if let Some(c) = probe {
+                    if convergence.is_none() {
+                        convergence = Some(c);
+                    }
+                    match last_fault {
+                        None => break,
+                        Some(l) if c > l => {
+                            reconvergence = Some(c - l);
+                            break;
+                        }
+                        _ => {}
+                    }
                 }
                 self.post_schedule(s);
             }
         } else {
             for s in 0..max_slots {
                 last_slot = s;
-                convergence = self.slot_body(Slot(s));
-                if convergence.is_some() {
-                    break;
+                let probe = self.slot_body(Slot(s));
+                if let Some(c) = probe {
+                    if convergence.is_none() {
+                        convergence = Some(c);
+                    }
+                    match last_fault {
+                        None => break,
+                        Some(l) if c > l => {
+                            reconvergence = Some(c - l);
+                            break;
+                        }
+                        _ => {}
+                    }
                 }
             }
         }
@@ -438,6 +631,9 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
             ground_truth_links: 2 * world.proximity_graph().m() as u64,
             service_matches,
             n_devices: n,
+            reconvergence_time: reconvergence.map(SlotDuration),
+            // The mesh holds no tree, so leaves never orphan fragments.
+            orphaned_fragments: 0,
         }
     }
 }

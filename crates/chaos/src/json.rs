@@ -1,0 +1,355 @@
+//! Minimal JSON reader for [`FaultPlan`] files.
+//!
+//! The workspace's `serde` is an inert offline stub (derives compile
+//! but do nothing), so `--faults PLAN.json` is parsed by hand — the
+//! same approach `ffd2d-trace` takes for its JSONL logs. The schema:
+//!
+//! ```json
+//! {
+//!   "drop_prob": 0.05,
+//!   "dup_prob": 0.01,
+//!   "churn": [ {"slot": 1000, "device": 3, "kind": "leave"} ],
+//!   "skew": [ {"device": 1, "extra_slots": -4} ],
+//!   "droop": [ {"device": 2, "from_slot": 100, "until_slot": 400, "droop_db": 12.0} ]
+//! }
+//! ```
+//!
+//! Every field is optional and defaults to "no fault". Unknown keys
+//! are rejected so typos fail loudly instead of silently injecting
+//! nothing.
+
+use crate::{ChurnEvent, ChurnKind, ClockSkew, FaultPlan, PowerDroop};
+
+/// A parsed JSON value (only what the schema needs).
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("fault plan JSON: {msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            if b == b'\\' {
+                return Err(self.err("escape sequences are not supported"));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err(&format!("bad number {text:?}")))
+    }
+}
+
+fn as_obj(v: &Value, what: &str) -> Result<Vec<(String, Value)>, String> {
+    match v {
+        Value::Obj(fields) => Ok(fields.clone()),
+        _ => Err(format!("fault plan JSON: {what} must be an object")),
+    }
+}
+
+fn as_num(v: &Value, what: &str) -> Result<f64, String> {
+    match v {
+        Value::Num(n) => Ok(*n),
+        _ => Err(format!("fault plan JSON: {what} must be a number")),
+    }
+}
+
+fn as_u64(v: &Value, what: &str) -> Result<u64, String> {
+    let n = as_num(v, what)?;
+    if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+        return Err(format!(
+            "fault plan JSON: {what} must be a non-negative integer, got {n}"
+        ));
+    }
+    Ok(n as u64)
+}
+
+fn as_u32(v: &Value, what: &str) -> Result<u32, String> {
+    let n = as_u64(v, what)?;
+    u32::try_from(n).map_err(|_| format!("fault plan JSON: {what} {n} overflows u32"))
+}
+
+fn as_i32(v: &Value, what: &str) -> Result<i32, String> {
+    let n = as_num(v, what)?;
+    if n.fract() != 0.0 || n < i32::MIN as f64 || n > i32::MAX as f64 {
+        return Err(format!(
+            "fault plan JSON: {what} must be an i32 integer, got {n}"
+        ));
+    }
+    Ok(n as i32)
+}
+
+fn field<'v>(fields: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn check_keys(fields: &[(String, Value)], allowed: &[&str], what: &str) -> Result<(), String> {
+    for (k, _) in fields {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!("fault plan JSON: unknown key {k:?} in {what}"));
+        }
+    }
+    Ok(())
+}
+
+/// Parse a complete [`FaultPlan`] document.
+pub(crate) fn plan_from_json(text: &str) -> Result<FaultPlan, String> {
+    let mut p = Parser::new(text);
+    let root = p.value()?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing data after document"));
+    }
+    let fields = as_obj(&root, "top level")?;
+    check_keys(
+        &fields,
+        &["drop_prob", "dup_prob", "churn", "skew", "droop"],
+        "top level",
+    )?;
+    let mut plan = FaultPlan::none();
+    if let Some(v) = field(&fields, "drop_prob") {
+        plan.drop_prob = as_num(v, "drop_prob")?;
+    }
+    if let Some(v) = field(&fields, "dup_prob") {
+        plan.dup_prob = as_num(v, "dup_prob")?;
+    }
+    if let Some(Value::Arr(items)) = field(&fields, "churn") {
+        for item in items {
+            let f = as_obj(item, "churn entry")?;
+            check_keys(&f, &["slot", "device", "kind"], "churn entry")?;
+            let kind = match field(&f, "kind") {
+                Some(Value::Str(s)) if s == "join" => ChurnKind::Join,
+                Some(Value::Str(s)) if s == "leave" => ChurnKind::Leave,
+                _ => return Err("fault plan JSON: churn kind must be \"join\" or \"leave\"".into()),
+            };
+            plan.churn.push(ChurnEvent {
+                slot: as_u64(
+                    field(&f, "slot").ok_or("fault plan JSON: churn entry needs slot")?,
+                    "slot",
+                )?,
+                device: as_u32(
+                    field(&f, "device").ok_or("fault plan JSON: churn entry needs device")?,
+                    "device",
+                )?,
+                kind,
+            });
+        }
+    } else if field(&fields, "churn").is_some() {
+        return Err("fault plan JSON: churn must be an array".into());
+    }
+    if let Some(Value::Arr(items)) = field(&fields, "skew") {
+        for item in items {
+            let f = as_obj(item, "skew entry")?;
+            check_keys(&f, &["device", "extra_slots"], "skew entry")?;
+            plan.skew.push(ClockSkew {
+                device: as_u32(
+                    field(&f, "device").ok_or("fault plan JSON: skew entry needs device")?,
+                    "device",
+                )?,
+                extra_slots: as_i32(
+                    field(&f, "extra_slots")
+                        .ok_or("fault plan JSON: skew entry needs extra_slots")?,
+                    "extra_slots",
+                )?,
+            });
+        }
+    } else if field(&fields, "skew").is_some() {
+        return Err("fault plan JSON: skew must be an array".into());
+    }
+    if let Some(Value::Arr(items)) = field(&fields, "droop") {
+        for item in items {
+            let f = as_obj(item, "droop entry")?;
+            check_keys(
+                &f,
+                &["device", "from_slot", "until_slot", "droop_db"],
+                "droop entry",
+            )?;
+            plan.droop.push(PowerDroop {
+                device: as_u32(
+                    field(&f, "device").ok_or("fault plan JSON: droop entry needs device")?,
+                    "device",
+                )?,
+                from_slot: as_u64(
+                    field(&f, "from_slot").ok_or("fault plan JSON: droop entry needs from_slot")?,
+                    "from_slot",
+                )?,
+                until_slot: as_u64(
+                    field(&f, "until_slot")
+                        .ok_or("fault plan JSON: droop entry needs until_slot")?,
+                    "until_slot",
+                )?,
+                droop_db: as_num(
+                    field(&f, "droop_db").ok_or("fault plan JSON: droop entry needs droop_db")?,
+                    "droop_db",
+                )?,
+            });
+        }
+    } else if field(&fields, "droop").is_some() {
+        return Err("fault plan JSON: droop must be an array".into());
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_document_parses() {
+        let text = r#"{
+            "drop_prob": 0.05,
+            "dup_prob": 0.01,
+            "churn": [
+                {"slot": 1000, "device": 3, "kind": "leave"},
+                {"slot": 2000, "device": 3, "kind": "join"}
+            ],
+            "skew": [{"device": 1, "extra_slots": -4}],
+            "droop": [{"device": 2, "from_slot": 100, "until_slot": 400, "droop_db": 12.0}]
+        }"#;
+        let plan = plan_from_json(text).unwrap();
+        assert_eq!(plan.drop_prob, 0.05);
+        assert_eq!(plan.dup_prob, 0.01);
+        assert_eq!(plan.churn.len(), 2);
+        assert_eq!(plan.churn[0].kind, ChurnKind::Leave);
+        assert_eq!(plan.skew[0].extra_slots, -4);
+        assert_eq!(plan.droop[0].droop_db, 12.0);
+    }
+
+    #[test]
+    fn empty_object_is_none() {
+        assert!(plan_from_json("{}").unwrap().is_none());
+        assert!(plan_from_json("  { }  ").unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_documents_are_rejected() {
+        for bad in [
+            "",
+            "[]",
+            "{",
+            r#"{"drop_prob": "high"}"#,
+            r#"{"typo_prob": 0.1}"#,
+            r#"{"churn": [{"slot": 1, "device": 0, "kind": "explode"}]}"#,
+            r#"{"churn": [{"slot": -1, "device": 0, "kind": "leave"}]}"#,
+            r#"{"churn": 3}"#,
+            r#"{} trailing"#,
+        ] {
+            assert!(plan_from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -33,6 +33,15 @@ pub struct RunOutcome {
     pub service_matches: u64,
     /// Devices in the trial.
     pub n_devices: usize,
+    /// Slots from the last discrete fault (final churn event or droop
+    /// window end) until the population converged again. `None` when
+    /// the scenario had no discrete faults, or when the run never
+    /// re-converged after the last one.
+    pub reconvergence_time: Option<SlotDuration>,
+    /// Tree fragments orphaned by departures: every leave that removes
+    /// a tree node splits its former neighbours into components, and
+    /// each component beyond the first counts as one orphaned fragment.
+    pub orphaned_fragments: u32,
 }
 
 impl RunOutcome {
@@ -77,7 +86,17 @@ mod tests {
             ground_truth_links: 40,
             service_matches: 3,
             n_devices: 10,
+            reconvergence_time: None,
+            orphaned_fragments: 0,
         }
+    }
+
+    #[test]
+    fn fault_metrics_default_to_quiet() {
+        let o = outcome(Some(5));
+        assert_eq!(o.reconvergence_time, None);
+        assert_eq!(o.orphaned_fragments, 0);
+        assert_eq!(o.counters.fault_dropped_frames, 0);
     }
 
     #[test]

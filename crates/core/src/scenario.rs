@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+pub use ffd2d_chaos::FaultPlan;
 pub use ffd2d_parallel::Parallelism;
 use ffd2d_phy::codec::ServiceClass;
 use ffd2d_radio::channel::ChannelConfig;
@@ -126,6 +127,10 @@ pub struct ScenarioConfig {
     /// the cores; single-run workloads (trace replays, benches,
     /// `--trials 1`) turn it on.
     pub parallelism: Parallelism,
+    /// Fault-injection and churn schedule ([`FaultPlan::none`] by
+    /// default — and then provably outcome-neutral, locked by
+    /// `tests/chaos.rs`).
+    pub faults: FaultPlan,
 }
 
 impl ScenarioConfig {
@@ -139,6 +144,7 @@ impl ScenarioConfig {
             protocol: ProtocolConfig::default(),
             engine: EngineMode::default(),
             parallelism: Parallelism::default(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -186,13 +192,24 @@ impl ScenarioConfig {
         self
     }
 
-    /// Validate all three layers.
+    /// Builder: attach a fault-injection / churn schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Validate all layers.
     pub fn validate(&self) -> Result<(), String> {
         self.sim.validate()?;
         self.protocol.validate()?;
         if self.channel.shadowing_sigma_db < 0.0 {
             return Err("shadowing sigma must be non-negative".into());
         }
+        self.faults.validate(
+            self.sim.n_devices,
+            self.protocol.period_slots,
+            self.protocol.refractory_slots,
+        )?;
         Ok(())
     }
 }
@@ -261,6 +278,33 @@ mod tests {
         assert_eq!(c.parallelism, Parallelism::Fixed(4));
         assert!(c.validate().is_ok());
         assert_eq!(Parallelism::from_flag("auto"), Some(Parallelism::Auto));
+    }
+
+    #[test]
+    fn faults_default_to_none_and_validate() {
+        let c = ScenarioConfig::table1(10);
+        assert!(c.faults.is_none());
+        assert!(c.validate().is_ok());
+
+        let mut plan = FaultPlan::none();
+        plan.drop_prob = 0.5;
+        let c = ScenarioConfig::table1(10).with_faults(plan);
+        assert!(!c.faults.is_none());
+        assert!(c.validate().is_ok());
+
+        // Fault plans referencing devices outside the population fail.
+        let bad = FaultPlan {
+            churn: vec![ffd2d_chaos::ChurnEvent {
+                slot: 1,
+                device: 99,
+                kind: ffd2d_chaos::ChurnKind::Leave,
+            }],
+            ..FaultPlan::none()
+        };
+        assert!(ScenarioConfig::table1(10)
+            .with_faults(bad)
+            .validate()
+            .is_err());
     }
 
     #[test]

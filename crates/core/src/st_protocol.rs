@@ -42,6 +42,7 @@ use rand::Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use ffd2d_chaos::{ChurnEvent, ChurnKind, FaultPlan, FrameFate};
 use ffd2d_osc::prc::Prc;
 use ffd2d_osc::predict::{Cursor, TrajectoryCache};
 use ffd2d_phy::frame::{FrameKind, ProximitySignal};
@@ -50,9 +51,12 @@ use ffd2d_sim::counters::Counters;
 use ffd2d_sim::deployment::DeviceId;
 use ffd2d_sim::rng::{StreamId, StreamRng};
 use ffd2d_sim::time::{Slot, SlotDuration};
-use ffd2d_trace::{Codec, FrameLabel, NullSink, ProtoPhase, RejectReason, TraceEvent, TraceSink};
+use ffd2d_trace::{
+    Codec, FaultKind, FrameLabel, NullSink, ProtoPhase, RejectReason, TraceEvent, TraceSink,
+};
 
 use crate::device::{CouplingMode, Device};
+use crate::discovery::NeighborTable;
 use crate::outcome::RunOutcome;
 use crate::scenario::{EngineMode, ScenarioConfig};
 use crate::world::{FastMedium, World};
@@ -329,6 +333,29 @@ struct Engine<'w, S: TraceSink, const EV: bool> {
     max_rounds: u32,
     /// Completeness denominator for per-slot stats (tracing only).
     ground_truth_links: u64,
+    // --- Fault injection & churn (dormant when the plan is none) ---
+    /// Per-device liveness under churn (all-true without a churn plan).
+    active: Vec<bool>,
+    /// True iff the plan schedules churn. Gates every liveness check,
+    /// so plan-free runs take exactly the pre-chaos code paths.
+    churned: bool,
+    /// Churn schedule sorted by `(slot, device)`, with a cursor.
+    churn_events: Vec<ChurnEvent>,
+    next_churn: usize,
+    /// Per-device "period differs from nominal" flags (clock skew):
+    /// skewed devices never join the shared trajectory cache.
+    skewed: Vec<bool>,
+    /// Keyed-draw seed for frame fates ([`FaultPlan::frame_fate`]).
+    chaos_key: u64,
+    /// Slot of the plan's last discrete fault: convergence does not end
+    /// the run until a probe succeeds *after* this slot.
+    last_fault_slot: Option<u64>,
+    /// The merge phase may not end before this slot (extended on churn
+    /// so rejoining devices get a re-discovery window before rounds
+    /// stop). Zero — and therefore inert — without churn.
+    merge_deadline: u64,
+    /// Tree fragments orphaned by departures (see [`RunOutcome`]).
+    orphaned_fragments: u32,
     // --- Event-driven machinery (dormant when `EV` is false) ---
     /// Candidate wake-up slots. Bare slot numbers, no payloads: a
     /// spurious wake just materializes a slot in which nothing happens,
@@ -368,6 +395,11 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
             r.dedup();
             r
         };
+        let faults = &cfg.faults;
+        let churn_events = faults.sorted_churn();
+        let skewed: Vec<bool> = (0..n as DeviceId)
+            .map(|id| faults.period_for(id, cfg.protocol.period_slots) != cfg.protocol.period_slots)
+            .collect();
         let mut phase_rng = StreamRng::new(seed, 0, StreamId::Phases);
         let devices: Vec<Device> = (0..n as DeviceId)
             .map(|id| {
@@ -375,7 +407,7 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
                     id,
                     n,
                     phase_rng.gen_range(0.0..1.0),
-                    cfg.protocol.period_slots,
+                    faults.period_for(id, cfg.protocol.period_slots),
                     cfg.protocol.refractory_slots,
                     world.services()[id as usize],
                 )
@@ -410,6 +442,15 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
             discovery_end: 0,
             max_rounds: 0,
             ground_truth_links: 0,
+            active: faults.initial_active(n),
+            churned: !churn_events.is_empty(),
+            churn_events,
+            next_churn: 0,
+            skewed,
+            chaos_key: FaultPlan::chaos_key(seed),
+            last_fault_slot: faults.last_fault_slot(),
+            merge_deadline: 0,
+            orphaned_fragments: 0,
             wake: BinaryHeap::new(),
             synced_next: 0,
             touched: Vec::new(),
@@ -422,11 +463,18 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
         }
     }
 
-    /// Distinct fragment labels across the population (tracing only).
+    /// Distinct fragment labels across the live population (tracing
+    /// only).
     fn fragment_count(&mut self) -> u32 {
         self.frag_scratch.clear();
-        self.frag_scratch
-            .extend(self.devices.iter().map(|d| d.fragment));
+        let (churned, active) = (self.churned, &self.active);
+        self.frag_scratch.extend(
+            self.devices
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !churned || active[*i])
+                .map(|(_, d)| d.fragment),
+        );
         self.frag_scratch.sort_unstable();
         self.frag_scratch.dedup();
         self.frag_scratch.len() as u32
@@ -443,7 +491,7 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
         let mut depth = vec![u32::MAX; n];
         let mut queue = std::collections::VecDeque::new();
         for d in &self.devices {
-            if d.is_head() {
+            if d.is_head() && (!self.churned || self.active[d.id as usize]) {
                 depth[d.id as usize] = 0;
                 queue.push_back(d.id);
             }
@@ -526,6 +574,9 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
         for id in 0..self.devices.len() as DeviceId {
             if !self.devices[id as usize].is_head() {
                 continue;
+            }
+            if self.churned && !self.active[id as usize] {
+                continue; // departed ex-heads stay silent
             }
             let children: Vec<DeviceId> = self.tree[id as usize].clone();
             self.devices[id as usize].parent = None;
@@ -1168,6 +1219,189 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
         }
     }
 
+    /// Apply every scheduled churn event due at or before `slot`, then
+    /// (if anything happened) re-open the merge machinery so the tree
+    /// heals. Called at slot-body start; in event-driven mode every
+    /// churn slot is pre-scheduled as a wake, so both engines apply
+    /// each event in exactly its scheduled slot.
+    fn apply_churn(&mut self, slot: Slot) {
+        let mut any = false;
+        while self.next_churn < self.churn_events.len()
+            && self.churn_events[self.next_churn].slot <= slot.0
+        {
+            let ev = self.churn_events[self.next_churn];
+            self.next_churn += 1;
+            any = true;
+            match ev.kind {
+                ChurnKind::Leave => self.device_leave(ev.device, slot),
+                ChurnKind::Join => self.device_join(ev.device, slot),
+            }
+        }
+        if any {
+            self.reopen_merging(slot);
+        }
+    }
+
+    /// Power a device off: freeze its oscillator, strip its tree edges,
+    /// count the fragments its departure orphans, and re-derive the
+    /// survivors' fragment identities.
+    fn device_leave(&mut self, d: DeviceId, slot: Slot) {
+        if !self.active[d as usize] {
+            return;
+        }
+        self.active[d as usize] = false;
+        let nbrs: Vec<DeviceId> = std::mem::take(&mut self.tree[d as usize]);
+        for &u in &nbrs {
+            self.tree[u as usize].retain(|&x| x != d);
+            let dev = &mut self.devices[u as usize];
+            if dev.parent == Some(d) {
+                dev.parent = None;
+            }
+            dev.children.retain(|&x| x != d);
+        }
+        self.devices[d as usize].parent = None;
+        self.devices[d as usize].children.clear();
+        let orphaned = self.refragment_after_leave(&nbrs);
+        self.orphaned_fragments += orphaned;
+        if S::ENABLED {
+            self.sink.event(&TraceEvent::DeviceLeft {
+                slot: slot.0,
+                device: d,
+                orphaned,
+            });
+        }
+    }
+
+    /// Power a device (back) on as a fresh singleton fragment. Stale
+    /// pre-outage state is discarded — the device re-discovers its
+    /// neighbours from live traffic.
+    fn device_join(&mut self, d: DeviceId, slot: Slot) {
+        if self.active[d as usize] {
+            return;
+        }
+        self.active[d as usize] = true;
+        let n = self.devices.len();
+        let dev = &mut self.devices[d as usize];
+        dev.fragment = d;
+        dev.head = d;
+        dev.parent = None;
+        dev.children.clear();
+        dev.table = NeighborTable::new(n);
+        dev.coupling = if self.phase == Phase::Discovery {
+            CouplingMode::Isolated
+        } else {
+            CouplingMode::TreeOnly
+        };
+        self.m[d as usize] = MState::default();
+        if EV {
+            // Re-predict the thawed oscillator's next fire.
+            self.touched.push(d);
+        }
+        if S::ENABLED {
+            self.sink.event(&TraceEvent::DeviceJoined {
+                slot: slot.0,
+                device: d,
+            });
+        }
+    }
+
+    /// Rebuild fragment identities from the surviving tree edges after
+    /// a departure: union-find over the live population, the minimum id
+    /// of each component becomes its head, and parents re-orient toward
+    /// it by BFS. Returns the number of fragments orphaned among
+    /// `former` (the departed device's ex-neighbours): each component
+    /// beyond the first.
+    fn refragment_after_leave(&mut self, former: &[DeviceId]) -> u32 {
+        let n = self.devices.len();
+        let mut uf = ffd2d_graph::UnionFind::new(n);
+        for v in 0..n {
+            if !self.active[v] {
+                continue;
+            }
+            for &u in &self.tree[v] {
+                if self.active[u as usize] {
+                    uf.union(v as DeviceId, u);
+                }
+            }
+        }
+        let mut former_roots: Vec<DeviceId> = former
+            .iter()
+            .filter(|&&u| self.active[u as usize])
+            .map(|&u| uf.find(u))
+            .collect();
+        former_roots.sort_unstable();
+        former_roots.dedup();
+        let orphaned = (former_roots.len() as u32).saturating_sub(1);
+        // Head = minimum id per live component (ids ascend, so the
+        // first member seen is the minimum).
+        let mut head = vec![NONE; n];
+        for v in 0..n as DeviceId {
+            if !self.active[v as usize] {
+                continue;
+            }
+            let r = uf.find(v) as usize;
+            if head[r] == NONE {
+                head[r] = v;
+            }
+        }
+        for v in 0..n as DeviceId {
+            if !self.active[v as usize] {
+                continue;
+            }
+            let h = head[uf.find(v) as usize];
+            self.devices[v as usize].fragment = h;
+            self.devices[v as usize].head = h;
+        }
+        // Re-orient every live component from its head.
+        let mut queue = std::collections::VecDeque::new();
+        let mut seen = vec![false; n];
+        for v in 0..n as DeviceId {
+            if self.active[v as usize] && self.devices[v as usize].is_head() {
+                seen[v as usize] = true;
+                self.devices[v as usize].parent = None;
+                queue.push_back(v);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            let children: Vec<DeviceId> = self.tree[v as usize]
+                .iter()
+                .copied()
+                .filter(|&u| self.active[u as usize] && !seen[u as usize])
+                .collect();
+            self.devices[v as usize].children = children.clone();
+            for c in children {
+                seen[c as usize] = true;
+                self.devices[c as usize].parent = Some(v);
+                queue.push_back(c);
+            }
+        }
+        orphaned
+    }
+
+    /// Churn re-opens tree construction: return to the merge phase,
+    /// grant extra rounds, and hold the phase open long enough for
+    /// rejoining devices to re-discover their neighbours before the
+    /// idle-round exit can fire.
+    fn reopen_merging(&mut self, slot: Slot) {
+        if self.phase == Phase::Discovery {
+            return; // merging has not started; discovery handles it
+        }
+        let period = self.world.config().protocol.period_slots as u64;
+        self.merge_deadline = self.merge_deadline.max(slot.0 + 3 * period);
+        self.max_rounds = self.max_rounds.max(self.round + 16);
+        self.stagnant_rounds = 0;
+        if self.phase != Phase::Merge {
+            self.phase = Phase::Merge;
+            if S::ENABLED {
+                self.sink.event(&TraceEvent::PhaseEnter {
+                    slot: slot.0,
+                    phase: ProtoPhase::Merge,
+                });
+            }
+        }
+        self.start_round(slot);
+    }
+
     /// Queue a staggered fire transmission for a device whose firing
     /// instant was `base_age` slots ago (0 for a natural threshold
     /// crossing; the absorbing pulse's age for an absorption).
@@ -1195,6 +1429,9 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
 
         // Natural fires from the slot tick.
         for i in 0..self.devices.len() {
+            if self.churned && !self.active[i] {
+                continue; // departed devices are frozen
+            }
             if self.devices[i].osc.tick() {
                 if EV {
                     self.touched.push(i as DeviceId);
@@ -1211,14 +1448,20 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
         let mut due = core::mem::take(&mut self.fire_queue[ring_at]);
         let mut pending = core::mem::take(&mut self.pending_scratch);
         pending.clear();
-        pending.extend(due.iter().map(|&(id, age)| ProximitySignal {
-            sender: id,
-            service: self.devices[id as usize].service,
-            kind: FrameKind::Fire {
-                fragment: self.devices[id as usize].fragment,
-                age,
-            },
-        }));
+        pending.extend(
+            due.iter()
+                // A device that left after staggering a fire never
+                // transmits it.
+                .filter(|&&(id, _)| !self.churned || self.active[id as usize])
+                .map(|&(id, age)| ProximitySignal {
+                    sender: id,
+                    service: self.devices[id as usize].service,
+                    kind: FrameKind::Fire {
+                        fragment: self.devices[id as usize].fragment,
+                        age,
+                    },
+                }),
+        );
         due.clear();
         self.fire_queue[ring_at] = due;
         // Merge-phase keep-alive beacons: one per device per period, at
@@ -1228,6 +1471,9 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
         if self.phase == Phase::Merge {
             let period = self.world.config().protocol.period_slots as u64;
             for id in 0..self.devices.len() {
+                if self.churned && !self.active[id] {
+                    continue;
+                }
                 if slot.0 % period == self.beacon_offset[id] {
                     pending.push(ProximitySignal {
                         sender: id as DeviceId,
@@ -1248,60 +1494,113 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
 
         let mut absorbed: Vec<(DeviceId, u8)> = Vec::new();
         let mut rach2_events: Vec<(DeviceId, ProximitySignal)> = Vec::new();
+        let mut fault_drops = 0u64;
+        let mut fault_dups = 0u64;
         {
+            let faults = &self.world.config().faults;
+            let has_frame_faults = faults.has_frame_faults();
+            let chaos_key = self.chaos_key;
+            let active_mask: Option<&[bool]> = if self.churned {
+                Some(&self.active)
+            } else {
+                None
+            };
             let devices = &mut self.devices;
             let prc = &self.prc;
             let touched = &mut self.touched;
-            self.medium.resolve_traced(
+            self.medium.resolve_masked(
                 self.world,
                 slot,
                 &pending,
+                active_mask,
                 &mut self.counters,
                 &mut *self.sink,
-                |receiver, sig, rx_dbm, sink| match sig.kind {
-                    FrameKind::Fire { fragment, age } => {
-                        let dev = &mut devices[receiver as usize];
-                        dev.table.observe_fire(
-                            sig.sender,
-                            Dbm(rx_dbm),
-                            sig.service,
-                            fragment,
-                            slot,
-                            &pathloss,
-                            tx_power,
-                        );
-                        if age != BEACON_AGE {
-                            let before = if S::ENABLED || EV {
-                                dev.osc.phase()
-                            } else {
-                                0.0
-                            };
-                            let fired = dev.hear_fire_delayed(sig.sender, prc, age as u32);
-                            if S::ENABLED || EV {
-                                let after = dev.osc.phase();
-                                if S::ENABLED && (after != before || fired) {
-                                    sink.event(&TraceEvent::PhaseAdjust {
+                |receiver, sig, rx_dbm, sink| {
+                    // Frame faults apply at the engine boundary, after
+                    // the decode decision: a dropped frame was on the
+                    // air (counters unchanged) but never reaches the
+                    // protocol; a duplicated one is handled twice. The
+                    // fate is a stateless keyed draw, so it cannot
+                    // depend on delivery order or worker count.
+                    let mut copies = 1u32;
+                    if has_frame_faults {
+                        match faults.frame_fate(chaos_key, slot.0, sig.sender, receiver) {
+                            FrameFate::Drop => {
+                                fault_drops += 1;
+                                if S::ENABLED {
+                                    sink.event(&TraceEvent::FaultInjected {
                                         slot: slot.0,
                                         device: receiver,
                                         sender: sig.sender,
-                                        before,
-                                        after,
-                                        absorbed: fired,
+                                        kind: FaultKind::FrameDrop,
                                     });
                                 }
-                                if EV && (after != before || fired) {
-                                    touched.push(receiver);
+                                return;
+                            }
+                            FrameFate::Duplicate => {
+                                fault_dups += 1;
+                                if S::ENABLED {
+                                    sink.event(&TraceEvent::FaultInjected {
+                                        slot: slot.0,
+                                        device: receiver,
+                                        sender: sig.sender,
+                                        kind: FaultKind::FrameDup,
+                                    });
                                 }
+                                copies = 2;
                             }
-                            if fired {
-                                absorbed.push((receiver, age));
-                            }
+                            FrameFate::Deliver => {}
                         }
                     }
-                    _ => rach2_events.push((receiver, *sig)),
+                    for _ in 0..copies {
+                        match sig.kind {
+                            FrameKind::Fire { fragment, age } => {
+                                let dev = &mut devices[receiver as usize];
+                                dev.table.observe_fire(
+                                    sig.sender,
+                                    Dbm(rx_dbm),
+                                    sig.service,
+                                    fragment,
+                                    slot,
+                                    &pathloss,
+                                    tx_power,
+                                );
+                                if age != BEACON_AGE {
+                                    let before = if S::ENABLED || EV {
+                                        dev.osc.phase()
+                                    } else {
+                                        0.0
+                                    };
+                                    let fired = dev.hear_fire_delayed(sig.sender, prc, age as u32);
+                                    if S::ENABLED || EV {
+                                        let after = dev.osc.phase();
+                                        if S::ENABLED && (after != before || fired) {
+                                            sink.event(&TraceEvent::PhaseAdjust {
+                                                slot: slot.0,
+                                                device: receiver,
+                                                sender: sig.sender,
+                                                before,
+                                                after,
+                                                absorbed: fired,
+                                            });
+                                        }
+                                        if EV && (after != before || fired) {
+                                            touched.push(receiver);
+                                        }
+                                    }
+                                    if fired {
+                                        absorbed.push((receiver, age));
+                                    }
+                                }
+                            }
+                            _ => rach2_events.push((receiver, *sig)),
+                        }
+                    }
                 },
             );
         }
+        self.counters.fault_dropped_frames += fault_drops;
+        self.counters.fault_dup_frames += fault_dups;
         for (receiver, sig) in rach2_events {
             self.handle_rach2(receiver, &sig, slot);
         }
@@ -1314,10 +1613,18 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
     }
 
     /// Smallest covering arc of the population's phases, in turns.
+    /// Departed devices keep free-running oscillators but are absent
+    /// from the air, so they are excluded from the convergence metric.
     fn phase_spread(&mut self) -> f64 {
         self.phases_scratch.clear();
-        self.phases_scratch
-            .extend(self.devices.iter().map(|d| d.osc.phase()));
+        let (churned, active) = (self.churned, &self.active);
+        self.phases_scratch.extend(
+            self.devices
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !churned || active[*i])
+                .map(|(_, d)| d.osc.phase()),
+        );
         ffd2d_osc::sync::phase_spread(&self.phases_scratch)
     }
 
@@ -1329,6 +1636,12 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
         let cfg = world.config();
         let n = self.devices.len();
         let s = slot.0;
+
+        // Scheduled churn fires before anything else in the slot, so a
+        // join participates (and a leave is silent) from this slot on.
+        if self.next_churn < self.churn_events.len() {
+            self.apply_churn(slot);
+        }
 
         // Phase transitions.
         match self.phase {
@@ -1354,9 +1667,12 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
                 self.commits_at_round_start = self.commits_total;
                 // Done when all heads are idle, when rounds stopped
                 // producing merges (stale phantom edges), or at the
-                // safety cap.
-                if self.mergecmds_this_round == 0
-                    || self.stagnant_rounds >= 4
+                // safety cap. A recent churn event holds the phase open
+                // (`merge_deadline`, 0 when no churn ever happened) so
+                // a rejoining device gets time to be discovered before
+                // the idle-round exit can fire.
+                if ((self.mergecmds_this_round == 0 || self.stagnant_rounds >= 4)
+                    && s >= self.merge_deadline)
                     || self.round >= self.max_rounds
                 {
                     self.phase = Phase::Sync;
@@ -1382,6 +1698,11 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
         core::mem::swap(&mut self.inbox, &mut self.outbox);
         let mut batch = core::mem::take(&mut self.inbox);
         for &(from, to, msg) in &batch {
+            // In-flight unicasts involving a device that churned between
+            // send and delivery are lost with it.
+            if self.churned && (!self.active[from as usize] || !self.active[to as usize]) {
+                continue;
+            }
             self.handle_msg(from, to, msg, slot);
         }
         batch.clear();
@@ -1393,6 +1714,9 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
         // boundary and leave half-committed edges).
         if self.phase == Phase::Merge && s <= self.round_grace_end {
             for v in 0..n as DeviceId {
+                if self.churned && !self.active[v as usize] {
+                    continue;
+                }
                 let st = &self.m[v as usize];
                 if st.hs_peer != NONE && !st.committed && st.hs_next_tx == s {
                     let d = &self.devices[v as usize];
@@ -1467,6 +1791,11 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
             let k = u64::from(self.devices[i].osc.ticks_to_next_fire());
             self.wake.push(Reverse(k - 1));
         }
+        // Churn slots must materialize: joins/leaves happen at the top
+        // of the slot body, and the heap keeps them in slot order.
+        for ev in &self.churn_events {
+            self.wake.push(Reverse(ev.slot));
+        }
     }
 
     /// Pop the next slot to materialize, skipping duplicates and
@@ -1497,6 +1826,11 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
             return;
         }
         for i in 0..self.devices.len() {
+            // Departed devices are frozen: their oscillators stop with
+            // them, exactly as in the stepped loop's tick skip.
+            if self.churned && !self.active[i] {
+                continue;
+            }
             let fast = match self.cursors[i] {
                 Some(c) => self.traj.advance(c, ticks),
                 None => None,
@@ -1529,7 +1863,13 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
         // from the (canonical) reset phase and re-predict the fire.
         while let Some(v) = self.touched.pop() {
             let phase = self.devices[v as usize].osc.phase();
-            let cur = self.traj.cursor_for_start(phase);
+            // The shared trajectory is tabulated for the nominal
+            // period; clock-skewed devices must tick literally.
+            let cur = if self.skewed[v as usize] {
+                None
+            } else {
+                self.traj.cursor_for_start(phase)
+            };
             self.cursors[v as usize] = cur;
             let k = match cur {
                 Some(c) => u64::from(self.traj.ticks_to_fire(c)),
@@ -1588,6 +1928,7 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
             0
         };
         let mut convergence: Option<u64> = None;
+        let mut reconvergence: Option<u64> = None;
         let mut last_slot = 0u64;
         if S::ENABLED {
             self.sink.event(&TraceEvent::PhaseEnter {
@@ -1596,25 +1937,50 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
             });
         }
 
+        // Fault-free runs stop at the first successful convergence
+        // probe (the paper's metric). With scheduled faults the run
+        // keeps going until a probe succeeds *after* the last fault, so
+        // graceful degradation (re-convergence time) is observable.
+        let last_fault = self.last_fault_slot;
         let max_slots = cfg.sim.max_slots.0;
         if EV {
             self.schedule_initial();
             while let Some(s) = self.next_wake(max_slots) {
                 self.advance_to(s);
                 last_slot = s;
-                convergence = self.slot_body(Slot(s));
+                let probe = self.slot_body(Slot(s));
                 self.synced_next = s + 1;
-                if convergence.is_some() {
-                    break;
+                if let Some(c) = probe {
+                    if convergence.is_none() {
+                        convergence = Some(c);
+                    }
+                    match last_fault {
+                        None => break,
+                        Some(l) if c > l => {
+                            reconvergence = Some(c - l);
+                            break;
+                        }
+                        _ => {}
+                    }
                 }
                 self.post_schedule(s);
             }
         } else {
             for s in 0..max_slots {
                 last_slot = s;
-                convergence = self.slot_body(Slot(s));
-                if convergence.is_some() {
-                    break;
+                let probe = self.slot_body(Slot(s));
+                if let Some(c) = probe {
+                    if convergence.is_none() {
+                        convergence = Some(c);
+                    }
+                    match last_fault {
+                        None => break,
+                        Some(l) if c > l => {
+                            reconvergence = Some(c - l);
+                            break;
+                        }
+                        _ => {}
+                    }
                 }
             }
         }
@@ -1626,10 +1992,10 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
             });
             self.sink.finish();
         }
-        self.finish(convergence)
+        self.finish(convergence, reconvergence)
     }
 
-    fn finish(self, convergence: Option<u64>) -> RunOutcome {
+    fn finish(self, convergence: Option<u64>, reconvergence: Option<u64>) -> RunOutcome {
         let n = self.devices.len();
         let mut tree_edges: Vec<(DeviceId, DeviceId)> = Vec::new();
         for v in 0..n as DeviceId {
@@ -1659,6 +2025,8 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
             ground_truth_links: 2 * self.world.proximity_graph().m() as u64,
             service_matches,
             n_devices: n,
+            reconvergence_time: reconvergence.map(SlotDuration),
+            orphaned_fragments: self.orphaned_fragments,
         }
     }
 }

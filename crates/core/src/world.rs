@@ -379,6 +379,12 @@ struct SlotCtx<'a> {
     tx_stamp: &'a [u64],
     threshold: f64,
     mean_floor: f64,
+    /// Receiver liveness under churn; `None` = everyone listens (the
+    /// exact fault-free path).
+    active: Option<&'a [bool]>,
+    /// Per-transmission power droop in dB (fault injection); `None`
+    /// when no droop window is open this slot.
+    droop: Option<&'a [f64]>,
 }
 
 impl ShardScratch {
@@ -438,20 +444,30 @@ impl ShardScratch {
                 if ctx.tx_stamp[r as usize] == ctx.epoch {
                     continue; // half-duplex: transmitting receivers are deaf
                 }
+                if let Some(active) = ctx.active {
+                    if !active[r as usize] {
+                        continue; // departed devices hear nothing
+                    }
+                }
                 for &ti in txs_here {
                     let tx = &ctx.transmissions[ti as usize];
                     let mean = self.mean_cached(ctx.world, tx.sender, r);
                     if mean < ctx.mean_floor {
                         // Provably below threshold for any fading draw;
                         // tallied by the closed-form reconstruction.
+                        // Droops only weaken a signal further, so the
+                        // prune stays conservative under fault plans.
                         continue;
                     }
-                    let p = mean
+                    let mut p = mean
                         + ctx
                             .world
                             .fading
                             .gain(ctx.world.fading_seed, tx.sender, r, ctx.slot)
                             .get();
+                    if let Some(droop) = ctx.droop {
+                        p -= droop[ti as usize];
+                    }
                     if p < ctx.threshold {
                         continue;
                     }
@@ -556,6 +572,30 @@ impl FastMedium {
         transmissions: &[ProximitySignal],
         counters: &mut Counters,
         sink: &mut S,
+        deliver: F,
+    ) where
+        S: TraceSink,
+        F: FnMut(DeviceId, &ProximitySignal, f64, &mut S),
+    {
+        self.resolve_masked(world, slot, transmissions, None, counters, sink, deliver)
+    }
+
+    /// [`FastMedium::resolve_traced`] under churn: receivers whose
+    /// `active` entry is `false` hear nothing (they left the arena), and
+    /// the closed-form below-threshold reconstruction counts only the
+    /// live population. Transmit-power droops from the world's
+    /// [`ScenarioConfig::faults`] plan are subtracted per transmission
+    /// before the threshold test. `active = None` and an empty droop
+    /// schedule reproduce the fault-free resolver bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resolve_masked<S, F>(
+        &mut self,
+        world: &World,
+        slot: Slot,
+        transmissions: &[ProximitySignal],
+        active: Option<&[bool]>,
+        counters: &mut Counters,
+        sink: &mut S,
         mut deliver: F,
     ) where
         S: TraceSink,
@@ -564,6 +604,17 @@ impl FastMedium {
         if transmissions.is_empty() {
             return;
         }
+        let faults = &world.config().faults;
+        let droops: Option<Vec<f64>> = if faults.droop.is_empty() {
+            None
+        } else {
+            Some(
+                transmissions
+                    .iter()
+                    .map(|tx| faults.droop_db_at(tx.sender, slot.0))
+                    .collect(),
+            )
+        };
         self.sync_with(world);
         self.epoch += 1;
         let epoch = self.epoch;
@@ -645,6 +696,8 @@ impl FastMedium {
             tx_stamp: &self.tx_stamp,
             threshold,
             mean_floor,
+            active,
+            droop: droops.as_deref(),
         };
         sharded_for_each(
             &self.touched_cells,
@@ -668,8 +721,13 @@ impl FastMedium {
         // Exact counter reconstruction: the reference walks every
         // (transmission, non-transmitting receiver) pair and counts it
         // either as detected (rx_ok + rx_collision below) or as below
-        // threshold — so the latter is the complement.
-        let receivers = world.n() as u64 - distinct_senders;
+        // threshold — so the latter is the complement. Under churn only
+        // the live population counts as receivers.
+        let population = match active {
+            Some(mask) => mask.iter().filter(|&&a| a).count() as u64,
+            None => world.n() as u64,
+        };
+        let receivers = population - distinct_senders;
         let below_threshold = transmissions.len() as u64 * receivers - detected;
         counters.rx_below_threshold += below_threshold;
         if S::ENABLED && below_threshold > 0 {

@@ -1,6 +1,8 @@
 //! Ablations A1–A4.
 //! Usage: ablation [sigma|coupling|density|topology|all]
-//!                 [--engine stepped|event] [--trace DIR]
+//!                 [--engine stepped|event]
+//!                 [--faults churn-light|churn-heavy|lossy|PLAN.json]
+//!                 [--trace DIR]
 //!
 //! `--engine` selects the slot engine for the radio-backed sweeps
 //! (A1, A3); results are bit-identical under both settings.
@@ -8,7 +10,9 @@
 //! With `--trace DIR`, additionally runs one traced ST trial of the
 //! Table-I baseline ablation scenario (n = AblationParams default,
 //! master seed): a JSONL event log at DIR/ablation_st.jsonl plus
-//! results/timeline_ablation_st.csv.
+//! results/timeline_ablation_st.csv. `--faults` attaches a seeded
+//! churn / frame-loss plan to that traced trial, so the timeline shows
+//! the fragment split and re-convergence after each fault.
 
 use ffd2d_core::ScenarioConfig;
 use ffd2d_experiments::ablation::{
@@ -17,8 +21,9 @@ use ffd2d_experiments::ablation::{
 use ffd2d_sim::time::SlotDuration;
 
 fn main() {
-    // Validate `--trace` usage before paying for the sweeps.
+    // Validate `--trace` / `--faults` usage before paying for the sweeps.
     let trace_dir = ffd2d_experiments::trace_dir_from_args();
+    let fault_spec = ffd2d_experiments::faults_from_args();
     // A leading flag (e.g. `ablation --engine stepped`) means "all".
     let which = std::env::args()
         .nth(1)
@@ -99,9 +104,20 @@ fn main() {
     }
     if let Some(dir) = trace_dir {
         let params = AblationParams::default();
+        let faults = match &fault_spec {
+            Some(spec) => match ffd2d_core::FaultPlan::resolve(spec, params.n, params.horizon.0) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    eprintln!("--faults: {e}");
+                    std::process::exit(2);
+                }
+            },
+            None => ffd2d_core::FaultPlan::none(),
+        };
         let scenario = ScenarioConfig::table1(params.n)
             .seeded(params.seed)
-            .with_max_slots(params.horizon);
+            .with_max_slots(params.horizon)
+            .with_faults(faults);
         match ffd2d_experiments::trace::write_st_trace(&scenario, &dir, "ablation_st") {
             Ok(path) => eprintln!(
                 "traced baseline ST trial: {} + results/timeline_ablation_st.csv",

@@ -3,6 +3,7 @@
 //!
 //! Usage: fig3 [--quick] [--trials N] [--max-n M] [--horizon SLOTS]
 //!             [--engine stepped|event] [--medium-workers off|auto|K]
+//!             [--faults churn-light|churn-heavy|lossy|PLAN.json]
 //!             [--trace DIR]
 //! Writes results/fig3.csv (+fig4.csv — same sweep; run `fig4` for the
 //! message view). With `--trace DIR`, additionally replays trial 0 of
@@ -12,7 +13,9 @@
 //! `--medium-workers` shards per-slot medium resolution inside a run
 //! (default: off for sweeps, auto when `--trials 1`). Both knobs are
 //! outcome-neutral: the CSVs are bit-identical under every setting,
-//! only wall clock differs.
+//! only wall clock differs. `--faults` injects a seeded churn / frame-
+//! loss schedule (deterministic per seed; the re-convergence columns of
+//! fig3.csv report how fast each protocol recovers).
 
 use ffd2d_experiments::sweep::run_paper_sweep;
 
@@ -30,7 +33,7 @@ fn main() {
         println!("time crossover (ST below FST) at n = {x}");
     }
     let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write("results/fig3.csv", report.fig3().to_csv());
+    let _ = std::fs::write("results/fig3.csv", report.fig3_csv());
     let _ = std::fs::write("results/fig4.csv", report.fig4_csv());
     eprintln!("wrote results/fig3.csv and results/fig4.csv (shared sweep)");
     if let Some(dir) = trace_dir {

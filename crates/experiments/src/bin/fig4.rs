@@ -5,12 +5,15 @@
 //!
 //! Usage: fig4 [--quick] [--trials N] [--max-n M] [--horizon SLOTS]
 //!             [--engine stepped|event] [--medium-workers off|auto|K]
+//!             [--faults churn-light|churn-heavy|lossy|PLAN.json]
 //!             [--trace DIR]
 //! `--engine` selects the slot engine (default: event);
 //! `--medium-workers` shards per-slot medium resolution inside a run
 //! (default: off for sweeps, auto when `--trials 1`). Both knobs are
 //! outcome-neutral: the CSVs are bit-identical under every setting,
-//! only wall clock differs.
+//! only wall clock differs. `--faults` injects a seeded churn / frame-
+//! loss schedule; fig4.csv then also reports injected frame drops and
+//! re-convergence means.
 
 use ffd2d_experiments::sweep::run_paper_sweep;
 
@@ -28,7 +31,7 @@ fn main() {
         println!("message crossover (ST below FST) at n = {x}");
     }
     let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write("results/fig3.csv", report.fig3().to_csv());
+    let _ = std::fs::write("results/fig3.csv", report.fig3_csv());
     let _ = std::fs::write("results/fig4.csv", report.fig4_csv());
     eprintln!("wrote results/fig3.csv and results/fig4.csv (shared sweep)");
     if let Some(dir) = trace_dir {

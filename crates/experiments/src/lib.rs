@@ -32,7 +32,8 @@ pub use trace::{trace_dir_from_args, write_sweep_traces};
 
 /// Parse the common sweep flags shared by the `fig3`/`fig4` binaries:
 /// `--quick`, `--trials N`, `--max-n M`, `--horizon SLOTS`,
-/// `--engine stepped|event`, `--medium-workers off|auto|K` (see
+/// `--engine stepped|event`, `--medium-workers off|auto|K`,
+/// `--faults churn-light|churn-heavy|lossy|PLAN.json` (see
 /// [`trace_dir_from_args`] for the `--trace DIR` flag).
 ///
 /// Medium parallelism defaults by workload shape: a multi-trial sweep
@@ -71,7 +72,34 @@ pub fn sweep_params_from_args() -> SweepParams {
         None if params.trials == 1 => ffd2d_core::Parallelism::Auto,
         None => params.medium,
     };
+    params.faults = faults_from_args();
     params
+}
+
+/// Parse the `--faults <spec>` flag shared by the experiment binaries:
+/// a churn preset (`churn-light`, `churn-heavy`, `lossy`) or a path to
+/// a `.json` fault plan. The spec is validated eagerly against a
+/// representative population so a typo fails here, not after the sweep
+/// has burned CPU; presets are re-resolved per node count inside the
+/// sweep (they scale with the population).
+pub fn faults_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--faults")?;
+    match args.get(i + 1) {
+        Some(spec) if !spec.starts_with("--") => {
+            if let Err(e) = ffd2d_core::FaultPlan::resolve(spec, 50, 30_000) {
+                eprintln!("--faults: {e}");
+                std::process::exit(2);
+            }
+            Some(spec.clone())
+        }
+        _ => {
+            eprintln!(
+                "--faults requires a value: 'churn-light', 'churn-heavy', 'lossy', or a .json path"
+            );
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Parse the `--engine stepped|event` flag shared by the experiment

@@ -21,7 +21,7 @@
 use serde::{Deserialize, Serialize};
 
 use ffd2d_baseline::FstProtocol;
-use ffd2d_core::{EngineMode, Parallelism, ScenarioConfig, StProtocol, World};
+use ffd2d_core::{EngineMode, FaultPlan, Parallelism, ScenarioConfig, StProtocol, World};
 use ffd2d_metrics::{Figure, Series, Summary, Table};
 use ffd2d_parallel::{run_trials, SweepConfig};
 use ffd2d_sim::time::SlotDuration;
@@ -47,6 +47,12 @@ pub struct SweepParams {
     /// invocations (`--trials 1`) flip this to `Auto` via
     /// [`crate::sweep_params_from_args`].
     pub medium: Parallelism,
+    /// Fault-injection spec (`--faults`): a churn preset name or a
+    /// `.json` plan path, resolved per node count via
+    /// [`FaultPlan::resolve`]. `None` runs the clean sweep (and is then
+    /// provably outcome-neutral — the CSVs are bit-identical to a build
+    /// without the chaos subsystem at all).
+    pub faults: Option<String>,
 }
 
 impl Default for SweepParams {
@@ -58,6 +64,7 @@ impl Default for SweepParams {
             master_seed: 0x0F19_3D2D,
             engine: EngineMode::default(),
             medium: Parallelism::default(),
+            faults: None,
         }
     }
 }
@@ -72,6 +79,7 @@ impl SweepParams {
             master_seed: 7,
             engine: EngineMode::default(),
             medium: Parallelism::default(),
+            faults: None,
         }
     }
 }
@@ -90,6 +98,13 @@ pub struct CellStats {
     pub rx_loss: Summary,
     /// Trials that failed to converge within the horizon.
     pub censored: u32,
+    /// Re-convergence time after the last scheduled fault, in ms (only
+    /// trials that re-converged contribute; empty on clean sweeps).
+    pub reconv_ms: Summary,
+    /// Trials that re-converged after the last scheduled fault.
+    pub reconverged: u32,
+    /// Frames dropped by fault injection, per trial.
+    pub fault_drops: Summary,
 }
 
 /// The complete sweep output.
@@ -109,11 +124,15 @@ struct PairedOutcome {
     st_collision: f64,
     st_rx_loss: f64,
     st_converged: bool,
+    st_reconv_ms: Option<u64>,
+    st_fault_drops: u64,
     fst_time: u64,
     fst_msgs: u64,
     fst_collision: f64,
     fst_rx_loss: f64,
     fst_converged: bool,
+    fst_reconv_ms: Option<u64>,
+    fst_fault_drops: u64,
 }
 
 /// Run the full paired sweep.
@@ -125,12 +144,26 @@ pub fn run_paper_sweep(params: &SweepParams) -> SweepReport {
     let horizon = params.horizon;
     let engine = params.engine;
     let medium = params.medium;
+    // Presets scale with the cell's population and horizon, so the plan
+    // is resolved once per node count, up front — a bad spec fails the
+    // whole sweep before any trial runs.
+    let plans: Vec<FaultPlan> = params
+        .node_counts
+        .iter()
+        .map(|&n| match &params.faults {
+            Some(spec) => FaultPlan::resolve(spec, n, horizon.0)
+                .unwrap_or_else(|e| panic!("--faults {spec:?}: {e}")),
+            None => FaultPlan::none(),
+        })
+        .collect();
+    let plans = &plans;
     let grouped = run_trials(&params.node_counts, &cfg, |&n, ctx| {
         let scenario = ScenarioConfig::table1(n)
             .seeded(ctx.seed)
             .with_max_slots(horizon)
             .with_engine(engine)
-            .with_parallelism(medium);
+            .with_parallelism(medium)
+            .with_faults(plans[ctx.param_index].clone());
         let world = World::new(&scenario);
         let st = StProtocol::run_in(&world);
         let fst = FstProtocol::run_in(&world);
@@ -140,11 +173,15 @@ pub fn run_paper_sweep(params: &SweepParams) -> SweepReport {
             st_collision: st.counters.collision_rate(),
             st_rx_loss: st.counters.rx_loss_rate(),
             st_converged: st.converged(),
+            st_reconv_ms: st.reconvergence_time.map(|d| d.as_millis()),
+            st_fault_drops: st.counters.fault_dropped_frames,
             fst_time: fst.time_or(horizon).as_millis(),
             fst_msgs: fst.messages(),
             fst_collision: fst.counters.collision_rate(),
             fst_rx_loss: fst.counters.rx_loss_rate(),
             fst_converged: fst.converged(),
+            fst_reconv_ms: fst.reconvergence_time.map(|d| d.as_millis()),
+            fst_fault_drops: fst.counters.fault_dropped_frames,
         }
     });
 
@@ -159,6 +196,9 @@ pub fn run_paper_sweep(params: &SweepParams) -> SweepReport {
                 collision_rate: Summary::new(),
                 rx_loss: Summary::new(),
                 censored: 0,
+                reconv_ms: Summary::new(),
+                reconverged: 0,
+                fault_drops: Summary::new(),
             };
             let mut fst = st;
             for o in outcomes {
@@ -167,11 +207,21 @@ pub fn run_paper_sweep(params: &SweepParams) -> SweepReport {
                 st.collision_rate.push(o.st_collision);
                 st.rx_loss.push(o.st_rx_loss);
                 st.censored += u32::from(!o.st_converged);
+                if let Some(r) = o.st_reconv_ms {
+                    st.reconv_ms.push(r as f64);
+                    st.reconverged += 1;
+                }
+                st.fault_drops.push(o.st_fault_drops as f64);
                 fst.time_ms.push(o.fst_time as f64);
                 fst.messages.push(o.fst_msgs as f64);
                 fst.collision_rate.push(o.fst_collision);
                 fst.rx_loss.push(o.fst_rx_loss);
                 fst.censored += u32::from(!o.fst_converged);
+                if let Some(r) = o.fst_reconv_ms {
+                    fst.reconv_ms.push(r as f64);
+                    fst.reconverged += 1;
+                }
+                fst.fault_drops.push(o.fst_fault_drops as f64);
             }
             (n, st, fst)
         })
@@ -216,19 +266,50 @@ impl SweepReport {
         )
     }
 
+    /// The `results/fig3.csv` export: the Fig. 3 convergence-time means
+    /// plus the robustness columns a faulted sweep (`--faults`) adds —
+    /// per-protocol re-convergence time after the last scheduled fault
+    /// and the count of trials that re-converged. On a clean sweep the
+    /// re-convergence columns are `0.000` / `0` throughout.
+    pub fn fig3_csv(&self) -> String {
+        let mut out = String::from(
+            "n,st_time_ms_mean,st_time_ms_ci95,fst_time_ms_mean,fst_time_ms_ci95,\
+             st_censored,fst_censored,st_reconv_ms_mean,fst_reconv_ms_mean,\
+             st_reconverged,fst_reconverged\n",
+        );
+        for &(n, st, fst) in &self.cells {
+            out.push_str(&format!(
+                "{n},{:.3},{:.3},{:.3},{:.3},{},{},{:.3},{:.3},{},{}\n",
+                st.time_ms.mean(),
+                st.time_ms.ci95_half_width(),
+                fst.time_ms.mean(),
+                fst.time_ms.ci95_half_width(),
+                st.censored,
+                fst.censored,
+                st.reconv_ms.mean(),
+                fst.reconv_ms.mean(),
+                st.reconverged,
+                fst.reconverged,
+            ));
+        }
+        out
+    }
+
     /// The `results/fig4.csv` export: the Fig. 4 message means plus the
     /// loss-attribution columns (collision rate and below-threshold rx
     /// loss per protocol) that diagnose *why* message counts move — at
     /// large n the FST mesh drowns in collisions while ST's staggered
-    /// tree traffic does not.
+    /// tree traffic does not. A faulted sweep also reports the injected
+    /// frame drops and the re-convergence means (zero on clean sweeps).
     pub fn fig4_csv(&self) -> String {
         let mut out = String::from(
             "n,st_msgs_mean,st_msgs_ci95,fst_msgs_mean,fst_msgs_ci95,\
-             st_collision_rate,fst_collision_rate,st_rx_loss,fst_rx_loss\n",
+             st_collision_rate,fst_collision_rate,st_rx_loss,fst_rx_loss,\
+             st_fault_drops,fst_fault_drops,st_reconv_ms_mean,fst_reconv_ms_mean\n",
         );
         for &(n, st, fst) in &self.cells {
             out.push_str(&format!(
-                "{n},{:.3},{:.3},{:.3},{:.3},{:.6},{:.6},{:.6},{:.6}\n",
+                "{n},{:.3},{:.3},{:.3},{:.3},{:.6},{:.6},{:.6},{:.6},{:.1},{:.1},{:.3},{:.3}\n",
                 st.messages.mean(),
                 st.messages.ci95_half_width(),
                 fst.messages.mean(),
@@ -237,6 +318,10 @@ impl SweepReport {
                 fst.collision_rate.mean(),
                 st.rx_loss.mean(),
                 fst.rx_loss.mean(),
+                st.fault_drops.mean(),
+                fst.fault_drops.mean(),
+                st.reconv_ms.mean(),
+                fst.reconv_ms.mean(),
             ));
         }
         out
@@ -315,6 +400,14 @@ mod tests {
         assert!(fig4.starts_with("n,st_msgs_mean"));
         assert!(fig4.contains("st_collision_rate"));
         assert_eq!(fig4.lines().count(), 4);
+        let fig3 = report.fig3_csv();
+        assert!(fig3.starts_with("n,st_time_ms_mean"));
+        assert!(fig3.contains("st_reconv_ms_mean"));
+        assert_eq!(fig3.lines().count(), 4);
+        // Clean sweep: the robustness columns stay quiet.
+        for line in fig3.lines().skip(1) {
+            assert!(line.ends_with(",0.000,0.000,0,0"), "{line}");
+        }
         for &(_, st, fst) in &report.cells {
             assert!(st.collision_rate.mean() >= 0.0 && st.collision_rate.mean() < 1.0);
             assert!(fst.rx_loss.mean() >= 0.0 && fst.rx_loss.mean() <= 1.0);
@@ -371,6 +464,7 @@ mod tests {
             master_seed: 3,
             engine: EngineMode::default(),
             medium: Parallelism::default(),
+            faults: None,
         };
         let report = run_paper_sweep(&params);
         let (_, st, fst) = report.cells[0];

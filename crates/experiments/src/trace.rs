@@ -63,10 +63,19 @@ pub fn write_sweep_traces(params: &SweepParams, dir: &Path) -> io::Result<Vec<Pa
     };
     for (param_index, &n) in params.node_counts.iter().enumerate() {
         let seed = TrialCtx::new(&cfg, param_index, 0).seed;
+        // Faulted sweeps replay under the same per-cell fault plan, so
+        // the trace shows the same churn/drops the figure's first
+        // sample experienced.
+        let faults = match &params.faults {
+            Some(spec) => ffd2d_core::FaultPlan::resolve(spec, n, params.horizon.0)
+                .map_err(|e| io::Error::other(format!("--faults {spec:?}: {e}")))?,
+            None => ffd2d_core::FaultPlan::none(),
+        };
         let scenario = ScenarioConfig::table1(n)
             .seeded(seed)
             .with_max_slots(params.horizon)
-            .with_parallelism(medium);
+            .with_parallelism(medium)
+            .with_faults(faults);
         let world = World::new(&scenario);
         written.push(trace_one(dir, &format!("st_n{n}"), |sink| {
             let mut timeline = TimelineSink::new();

@@ -15,13 +15,15 @@ use ffd2d_sim::counters::Counters;
 /// moves and by how much.
 fn apply(c: &mut Counters, ev: (u8, u64)) {
     let (kind, amount) = ev;
-    match kind % 6 {
+    match kind % 8 {
         0 => c.rach1_tx += amount,
         1 => c.rach2_tx += amount,
         2 => c.unicast_tx += amount,
         3 => c.rx_ok += amount,
         4 => c.rx_collision += amount,
-        _ => c.rx_below_threshold += amount,
+        5 => c.rx_below_threshold += amount,
+        6 => c.fault_dropped_frames += amount,
+        _ => c.fault_dup_frames += amount,
     }
 }
 
@@ -55,8 +57,8 @@ proptest! {
     /// merges in shard order; this shows nothing depends on it).
     #[test]
     fn merge_commutes_below_saturation(
-        a in proptest::collection::vec(0u64..1 << 30, 6),
-        b in proptest::collection::vec(0u64..1 << 30, 6),
+        a in proptest::collection::vec(0u64..1 << 30, 8),
+        b in proptest::collection::vec(0u64..1 << 30, 8),
     ) {
         let mk = |v: &[u64]| Counters {
             rach1_tx: v[0],
@@ -65,6 +67,8 @@ proptest! {
             rx_ok: v[3],
             rx_collision: v[4],
             rx_below_threshold: v[5],
+            fault_dropped_frames: v[6],
+            fault_dup_frames: v[7],
         };
         let (x, y) = (mk(&a), mk(&b));
         let mut xy = x;

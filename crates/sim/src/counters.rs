@@ -26,6 +26,12 @@ pub struct Counters {
     pub rx_collision: u64,
     /// Receptions lost to fading below the detection threshold.
     pub rx_below_threshold: u64,
+    /// Successfully decoded frames discarded by injected frame-drop
+    /// faults (`ffd2d-chaos`); zero unless a fault plan is active.
+    pub fault_dropped_frames: u64,
+    /// Decoded frames delivered twice by injected duplication faults;
+    /// zero unless a fault plan is active.
+    pub fault_dup_frames: u64,
 }
 
 impl Counters {
@@ -81,6 +87,10 @@ impl Counters {
         self.rx_below_threshold = self
             .rx_below_threshold
             .saturating_add(other.rx_below_threshold);
+        self.fault_dropped_frames = self
+            .fault_dropped_frames
+            .saturating_add(other.fault_dropped_frames);
+        self.fault_dup_frames = self.fault_dup_frames.saturating_add(other.fault_dup_frames);
     }
 }
 
@@ -103,6 +113,7 @@ mod tests {
             rx_ok: 30,
             rx_collision: 10,
             rx_below_threshold: 60,
+            ..Counters::new()
         };
         assert_eq!(c.total_tx(), 17);
         assert_eq!(c.total_rx_attempts(), 100);
@@ -150,11 +161,15 @@ mod tests {
             rx_ok: 4,
             rx_collision: 5,
             rx_below_threshold: 6,
+            fault_dropped_frames: 7,
+            fault_dup_frames: 8,
         };
         let b = a;
         a += b;
         assert_eq!(a.rach1_tx, 2);
         assert_eq!(a.rx_below_threshold, 12);
+        assert_eq!(a.fault_dropped_frames, 14);
+        assert_eq!(a.fault_dup_frames, 16);
         assert_eq!(a.total_tx(), 12);
     }
 }

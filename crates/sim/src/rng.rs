@@ -178,6 +178,8 @@ pub enum StreamId {
     Services = 6,
     /// Free for experiment-specific use.
     Experiment = 7,
+    /// Fault injection (frame drop/duplication keys, churn jitter).
+    Chaos = 8,
 }
 
 /// A deterministic per-`(seed, trial, stream)` RNG.

@@ -159,6 +159,36 @@ impl RejectReason {
     }
 }
 
+/// Kind of an injected fault (a trace-local mirror of the
+/// `ffd2d-chaos` frame fates — the trace crate sits below chaos in the
+/// dependency order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A decoded frame was discarded at the receiver.
+    FrameDrop,
+    /// A decoded frame was delivered twice at the receiver.
+    FrameDup,
+}
+
+impl FaultKind {
+    /// Stable lowercase name used in JSONL logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::FrameDrop => "frame_drop",
+            FaultKind::FrameDup => "frame_dup",
+        }
+    }
+
+    /// Inverse of [`FaultKind::name`].
+    pub fn from_name(s: &str) -> Option<FaultKind> {
+        match s {
+            "frame_drop" => Some(FaultKind::FrameDrop),
+            "frame_dup" => Some(FaultKind::FrameDup),
+            _ => None,
+        }
+    }
+}
+
 /// One observable fact about a protocol run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
@@ -309,6 +339,34 @@ pub enum TraceEvent {
         /// denominator; constant over a static run).
         ground_truth_links: u64,
     },
+    /// A fault plan injected a frame-level fault at a receiver.
+    FaultInjected {
+        /// Slot of the injection.
+        slot: u64,
+        /// Receiver whose delivery was perturbed.
+        device: DeviceId,
+        /// Sender of the perturbed frame.
+        sender: DeviceId,
+        /// What happened to the frame.
+        kind: FaultKind,
+    },
+    /// A device joined (powered on) under the churn schedule.
+    DeviceJoined {
+        /// Slot the device became active.
+        slot: u64,
+        /// The joining device.
+        device: DeviceId,
+    },
+    /// A device left (powered off) under the churn schedule.
+    DeviceLeft {
+        /// Slot the device went silent.
+        slot: u64,
+        /// The leaving device.
+        device: DeviceId,
+        /// Fragments its departure orphaned (former tree neighbours
+        /// split into this many extra components).
+        orphaned: u32,
+    },
     /// Every device fired in one slot — convergence.
     Converged {
         /// Slot of convergence.
@@ -342,6 +400,9 @@ impl TraceEvent {
             TraceEvent::MergeReject { .. } => "merge_reject",
             TraceEvent::FragmentCommit { .. } => "fragment_commit",
             TraceEvent::SlotStats { .. } => "slot_stats",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::DeviceJoined { .. } => "device_joined",
+            TraceEvent::DeviceLeft { .. } => "device_left",
             TraceEvent::Converged { .. } => "converged",
             TraceEvent::RunEnd { .. } => "run_end",
         }
@@ -362,6 +423,9 @@ impl TraceEvent {
             | TraceEvent::MergeReject { slot, .. }
             | TraceEvent::FragmentCommit { slot, .. }
             | TraceEvent::SlotStats { slot, .. }
+            | TraceEvent::FaultInjected { slot, .. }
+            | TraceEvent::DeviceJoined { slot, .. }
+            | TraceEvent::DeviceLeft { slot, .. }
             | TraceEvent::Converged { slot }
             | TraceEvent::RunEnd { slot, .. } => slot,
         }
@@ -394,6 +458,10 @@ mod tests {
         for r in [RejectReason::GrantDenied, RejectReason::VoidSameFragment] {
             assert_eq!(RejectReason::from_name(r.name()), Some(r));
         }
+        for k in [FaultKind::FrameDrop, FaultKind::FrameDup] {
+            assert_eq!(FaultKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(FaultKind::from_name("bogus"), None);
         assert_eq!(Codec::from_name("bogus"), None);
         assert_eq!(FrameLabel::from_name("bogus"), None);
     }
@@ -403,6 +471,18 @@ mod tests {
         let evs = [
             TraceEvent::Converged { slot: 7 },
             TraceEvent::RxBelowThreshold { slot: 7, count: 3 },
+            TraceEvent::FaultInjected {
+                slot: 7,
+                device: 1,
+                sender: 2,
+                kind: FaultKind::FrameDrop,
+            },
+            TraceEvent::DeviceJoined { slot: 7, device: 3 },
+            TraceEvent::DeviceLeft {
+                slot: 7,
+                device: 4,
+                orphaned: 1,
+            },
             TraceEvent::RunEnd {
                 slot: 7,
                 converged: true,

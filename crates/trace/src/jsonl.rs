@@ -13,7 +13,7 @@
 
 use std::io::Write;
 
-use crate::event::{Codec, FrameLabel, ProtoPhase, RejectReason, TraceEvent};
+use crate::event::{Codec, FaultKind, FrameLabel, ProtoPhase, RejectReason, TraceEvent};
 use crate::sink::TraceSink;
 
 /// Encode one event as a single JSON line (no trailing newline).
@@ -188,6 +188,30 @@ pub fn encode_event(ev: &TraceEvent) -> String {
             field_f(&mut s, "phase_spread", phase_spread);
             field_u(&mut s, "discovered_links", discovered_links);
             field_u(&mut s, "ground_truth_links", ground_truth_links);
+        }
+        TraceEvent::FaultInjected {
+            slot,
+            device,
+            sender,
+            kind,
+        } => {
+            field_u(&mut s, "slot", slot);
+            field_u(&mut s, "device", device as u64);
+            field_u(&mut s, "sender", sender as u64);
+            field_s(&mut s, "kind", kind.name());
+        }
+        TraceEvent::DeviceJoined { slot, device } => {
+            field_u(&mut s, "slot", slot);
+            field_u(&mut s, "device", device as u64);
+        }
+        TraceEvent::DeviceLeft {
+            slot,
+            device,
+            orphaned,
+        } => {
+            field_u(&mut s, "slot", slot);
+            field_u(&mut s, "device", device as u64);
+            field_u(&mut s, "orphaned", orphaned as u64);
         }
         TraceEvent::Converged { slot } => {
             field_u(&mut s, "slot", slot);
@@ -418,6 +442,21 @@ pub fn parse_event(line: &str) -> Option<TraceEvent> {
             discovered_links: f.u64("discovered_links")?,
             ground_truth_links: f.u64("ground_truth_links")?,
         },
+        "fault_injected" => TraceEvent::FaultInjected {
+            slot: f.u64("slot")?,
+            device: f.u32("device")?,
+            sender: f.u32("sender")?,
+            kind: FaultKind::from_name(f.str("kind")?)?,
+        },
+        "device_joined" => TraceEvent::DeviceJoined {
+            slot: f.u64("slot")?,
+            device: f.u32("device")?,
+        },
+        "device_left" => TraceEvent::DeviceLeft {
+            slot: f.u64("slot")?,
+            device: f.u32("device")?,
+            orphaned: f.u32("orphaned")?,
+        },
         "converged" => TraceEvent::Converged {
             slot: f.u64("slot")?,
         },
@@ -574,6 +613,21 @@ mod tests {
                 phase_spread: 0.4406,
                 discovered_links: 130,
                 ground_truth_links: 244,
+            },
+            TraceEvent::FaultInjected {
+                slot: 400,
+                device: 6,
+                sender: 2,
+                kind: FaultKind::FrameDup,
+            },
+            TraceEvent::DeviceJoined {
+                slot: 450,
+                device: 5,
+            },
+            TraceEvent::DeviceLeft {
+                slot: 460,
+                device: 6,
+                orphaned: 2,
             },
             TraceEvent::Converged { slot: 5000 },
             TraceEvent::RunEnd {

@@ -38,7 +38,7 @@ pub mod jsonl;
 pub mod sink;
 pub mod timeline;
 
-pub use event::{Codec, FrameLabel, ProtoPhase, RejectReason, TraceEvent};
+pub use event::{Codec, FaultKind, FrameLabel, ProtoPhase, RejectReason, TraceEvent};
 pub use jsonl::{encode_event, parse_event, JsonlSink};
 pub use sink::{BufferSink, CountingSink, NullSink, TeeSink, TraceSink};
 pub use timeline::{TimelineRow, TimelineSink};

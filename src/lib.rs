@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 pub use ffd2d_baseline as baseline;
+pub use ffd2d_chaos as chaos;
 pub use ffd2d_core as core;
 pub use ffd2d_experiments as experiments;
 pub use ffd2d_graph as graph;

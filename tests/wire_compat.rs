@@ -1,9 +1,13 @@
 //! Wire-format compatibility: everything the protocol engines put on
 //! the air round-trips through the PHY frame codec, and the collision
-//! medium treats encoded/decoded frames identically.
+//! medium treats encoded/decoded frames identically. Property tests at
+//! the bottom feed the decoder truncated, bit-flipped and arbitrary
+//! junk buffers: it must never panic and never accept bytes it could
+//! not itself have produced.
 
+use bytes::Bytes;
 use ffd2d::phy::codec::{RachCodec, ServiceClass};
-use ffd2d::phy::frame::{FrameKind, ProximitySignal};
+use ffd2d::phy::frame::{FrameError, FrameKind, ProximitySignal};
 use ffd2d::phy::medium::{Medium, Transmission};
 use ffd2d::radio::channel::{Channel, ChannelConfig};
 use ffd2d::sim::deployment::{Deployment, Meters, Position};
@@ -106,5 +110,138 @@ fn frame_sizes_fit_a_rach_payload() {
             sig.kind,
             sig.encode().len()
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adversarial decoding properties. A real receiver sees whatever the
+// channel hands it — short reads, flipped bits, noise decoded as a
+// preamble — so the codec's contract is: `decode` never panics, and any
+// `Ok` it returns re-encodes to a prefix of the exact bytes it was
+// given (it cannot invent field values the wire didn't carry).
+// ---------------------------------------------------------------------
+
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+/// Every `FrameKind` variant (RACH1 and RACH2 alike) with arbitrary
+/// field values.
+fn arb_kind() -> BoxedStrategy<FrameKind> {
+    prop_oneof![
+        (any::<u32>(), any::<u8>()).prop_map(|(fragment, age)| FrameKind::Fire { fragment, age }),
+        any::<u32>().prop_map(|to| FrameKind::DiscoveryReply { to }),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<i32>()).prop_map(
+            |(to, best_u, best_v, weight)| FrameKind::Report {
+                to,
+                best_u,
+                best_v,
+                weight,
+            }
+        ),
+        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(to, u, v)| FrameKind::MergeCmd {
+            to,
+            u,
+            v
+        }),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
+            |(to, fragment, fragment_size, head)| FrameKind::HConnect {
+                to,
+                fragment,
+                fragment_size,
+                head,
+            }
+        ),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
+            |(to, fragment, fragment_size, head)| FrameKind::HAccept {
+                to,
+                fragment,
+                fragment_size,
+                head,
+            }
+        ),
+        (any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(to, fragment, head)| FrameKind::NewFragment { to, fragment, head }),
+    ]
+    .boxed()
+}
+
+fn arb_signal() -> BoxedStrategy<ProximitySignal> {
+    (any::<u32>(), 0u8..ServiceClass::COUNT, arb_kind())
+        .prop_map(|(sender, service, kind)| ProximitySignal {
+            sender,
+            service: ServiceClass::new(service),
+            kind,
+        })
+        .boxed()
+}
+
+proptest! {
+    /// Every strict prefix of a valid encoding is rejected as
+    /// `Truncated` — payloads are fixed-length per tag, so there is no
+    /// shorter buffer the decoder could legitimately accept.
+    #[test]
+    fn every_strict_prefix_is_rejected(sig in arb_signal()) {
+        let full = sig.encode();
+        for cut in 0..full.len() {
+            prop_assert_eq!(
+                ProximitySignal::decode(full.slice(0..cut)),
+                Err(FrameError::Truncated),
+                "{:?} cut to {} bytes",
+                sig,
+                cut
+            );
+        }
+    }
+
+    /// A single flipped bit anywhere in the frame must not panic the
+    /// decoder, and a successful decode must re-encode to a prefix of
+    /// the corrupted buffer — i.e. the decoder only ever reports what
+    /// was actually on the wire. (A tag flip may shorten the expected
+    /// payload and leave trailing bytes unread; that is fine, inventing
+    /// bytes is not.)
+    #[test]
+    fn bit_flips_never_panic_or_forge_fields(
+        sig in arb_signal(),
+        pos in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let mut mutated = sig.encode().to_vec();
+        let idx = pos as usize % mutated.len();
+        mutated[idx] ^= 1 << bit;
+        match ProximitySignal::decode(Bytes::from(mutated.clone())) {
+            Err(_) => {} // rejection is always sound
+            Ok(decoded) => {
+                let re = decoded.encode();
+                prop_assert!(
+                    re.len() <= mutated.len() && re[..] == mutated[..re.len()],
+                    "decoder forged fields: {:?} -> {:?} re-encodes to {:?}, wire was {:?}",
+                    sig,
+                    decoded,
+                    re,
+                    mutated
+                );
+            }
+        }
+    }
+
+    /// Arbitrary junk buffers (channel noise that happened to clear the
+    /// preamble detector) obey the same contract: no panic, and any
+    /// accept re-encodes to a prefix of the input.
+    #[test]
+    fn arbitrary_buffers_never_panic_or_forge_fields(
+        junk in proptest::collection::vec(any::<u8>(), 0..64usize),
+    ) {
+        match ProximitySignal::decode(Bytes::from(junk.clone())) {
+            Err(_) => {}
+            Ok(decoded) => {
+                let re = decoded.encode();
+                prop_assert!(
+                    re.len() <= junk.len() && re[..] == junk[..re.len()],
+                    "decoder forged fields from junk {:?}: {:?}",
+                    junk,
+                    decoded
+                );
+            }
+        }
     }
 }
