@@ -36,6 +36,7 @@ use ffd2d_sim::counters::Counters;
 use ffd2d_sim::deployment::DeviceId;
 use ffd2d_sim::rng::{StreamId, StreamRng};
 use ffd2d_sim::time::{Slot, SlotDuration};
+use ffd2d_telemetry::{NullRecorder, Recorder};
 use ffd2d_trace::{FaultKind, NullSink, ProtoPhase, TraceEvent, TraceSink};
 
 /// Fire transmissions are staggered over this many slots (same value as
@@ -79,10 +80,34 @@ impl FstProtocol {
     /// stepped loop, whatever [`ScenarioConfig::engine`] says (same
     /// rule as the ST engine).
     pub fn run_in_traced<S: TraceSink>(world: &World, sink: &mut S) -> RunOutcome {
+        Self::run_in_instrumented(world, sink, &mut NullRecorder)
+    }
+
+    /// Run one trial with performance telemetry (and no protocol
+    /// trace). See [`FstProtocol::run_in_instrumented`].
+    pub fn run_instrumented<R: Recorder>(cfg: &ScenarioConfig, rec: &mut R) -> RunOutcome {
+        let world = World::new(cfg);
+        Self::run_in_instrumented(&world, &mut NullSink, rec)
+    }
+
+    /// [`FstProtocol::run_in_traced`] plus a telemetry [`Recorder`].
+    /// Telemetry is observational exactly like tracing: it consumes no
+    /// randomness and mutates no protocol state, so the outcome is
+    /// bit-identical whatever recorder is attached, and a
+    /// [`NullRecorder`] compiles every instrumentation site out.
+    ///
+    /// Engine dispatch keys on the *sink* only (a recorder does not
+    /// force the stepped loop): profiling the event-driven calendar
+    /// queue is precisely what the recorder is for.
+    pub fn run_in_instrumented<S: TraceSink, R: Recorder>(
+        world: &World,
+        sink: &mut S,
+        rec: &mut R,
+    ) -> RunOutcome {
         if !S::ENABLED && world.config().engine == EngineMode::EventDriven {
-            FstEngine::<S, true>::new(world, sink).run()
+            FstEngine::<S, R, true>::new(world, sink, rec).run()
         } else {
-            FstEngine::<S, false>::new(world, sink).run()
+            FstEngine::<S, R, false>::new(world, sink, rec).run()
         }
     }
 }
@@ -90,9 +115,12 @@ impl FstProtocol {
 /// The mesh slot loop, in either execution mode (`EV` selects the
 /// event-driven calendar queue at compile time; see the ST engine for
 /// the full design rationale).
-struct FstEngine<'w, S: TraceSink, const EV: bool> {
+struct FstEngine<'w, S: TraceSink, R: Recorder, const EV: bool> {
     world: &'w World,
     sink: &'w mut S,
+    /// Performance recorder; every call site is a no-op under
+    /// [`NullRecorder`].
+    rec: &'w mut R,
     devices: Vec<Device>,
     medium: FastMedium,
     counters: Counters,
@@ -140,8 +168,8 @@ struct FstEngine<'w, S: TraceSink, const EV: bool> {
     traj: TrajectoryCache,
 }
 
-impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
-    fn new(world: &'w World, sink: &'w mut S) -> Self {
+impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
+    fn new(world: &'w World, sink: &'w mut S, rec: &'w mut R) -> Self {
         let cfg = world.config();
         let n = world.n();
         let seed = cfg.sim.seed;
@@ -168,6 +196,7 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
         FstEngine {
             world,
             sink,
+            rec,
             devices,
             medium: FastMedium::new(n),
             counters: Counters::new(),
@@ -204,6 +233,7 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
         {
             let ev = self.churn_events[self.next_churn];
             self.next_churn += 1;
+            self.rec.add("chaos.churn_events", 1);
             let d = ev.device as usize;
             match ev.kind {
                 ChurnKind::Leave => {
@@ -239,9 +269,23 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
         }
     }
 
+    /// One materialized slot, under a scoped timer when a recorder
+    /// listens. The mesh has no protocol phases, so every slot bills to
+    /// the single `engine.slot.sync` key.
+    fn slot_body(&mut self, slot: Slot) -> Option<u64> {
+        if !R::ENABLED {
+            return self.slot_body_inner(slot);
+        }
+        let t_slot = self.rec.start();
+        let probe = self.slot_body_inner(slot);
+        self.rec.add("engine.slots_materialized", 1);
+        self.rec.stop("engine.slot.sync", t_slot);
+        probe
+    }
+
     /// One materialized slot — the body shared by both loops. Returns
     /// `Some(slot)` on convergence.
-    fn slot_body(&mut self, slot: Slot) -> Option<u64> {
+    fn slot_body_inner(&mut self, slot: Slot) -> Option<u64> {
         let world = self.world;
         let pathloss = world.channel_config().pathloss;
         let tx_power = world.channel_config().tx_power;
@@ -267,7 +311,7 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
                         // The staggered transmission lands in a future
                         // slot, which must be materialized for the ring
                         // take below to find it.
-                        self.wake.push(Reverse(s + j));
+                        self.push_wake(s + j);
                     }
                 }
             } else if EV {
@@ -307,13 +351,14 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
                 let devices = &mut self.devices;
                 let prc = &self.prc;
                 let touched = &mut self.touched;
-                self.medium.resolve_masked(
+                self.medium.resolve_instrumented(
                     world,
                     slot,
                     &pending,
                     active_mask,
                     &mut self.counters,
                     &mut *self.sink,
+                    &mut *self.rec,
                     |receiver, sig, rx_dbm, sink| {
                         // Frame faults at the engine boundary, after the
                         // decode decision — same placement and keyed
@@ -393,12 +438,18 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
             }
             self.counters.fault_dropped_frames += fault_drops;
             self.counters.fault_dup_frames += fault_dups;
+            if fault_drops > 0 {
+                self.rec.add("chaos.frames_dropped", fault_drops);
+            }
+            if fault_dups > 0 {
+                self.rec.add("chaos.frames_duplicated", fault_dups);
+            }
             for (id, age) in absorbed {
                 let j = self.rng.gen_range(1..FIRE_JITTER);
                 self.fire_queue[(s + j) as usize % FIRE_RING]
                     .push((id, age.saturating_add(j as u8)));
                 if EV {
-                    self.wake.push(Reverse(s + j));
+                    self.push_wake(s + j);
                 }
             }
             self.pending_scratch = pending;
@@ -450,19 +501,28 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
         );
     }
 
+    /// Schedule a wake-up slot, tallying calendar-queue pressure for an
+    /// enabled recorder (a no-op push otherwise).
+    #[inline]
+    fn push_wake(&mut self, s: u64) {
+        self.rec.add("engine.wakeups_scheduled", 1);
+        self.wake.push(Reverse(s));
+    }
+
     /// Seed the wake queue: slot 0 (its body runs the unconditional
     /// `s % 16 == 0` convergence probe) plus every device's first
     /// natural fire (`k` ticks to fire ⇒ fires in slot `k - 1`).
     fn schedule_initial(&mut self) {
-        self.wake.push(Reverse(0));
+        self.push_wake(0);
         for i in 0..self.devices.len() {
             let k = u64::from(self.devices[i].osc.ticks_to_next_fire());
-            self.wake.push(Reverse(k - 1));
+            self.push_wake(k - 1);
         }
         // Churn slots must materialize (joins/leaves happen at the top
         // of the slot body).
-        for ev in &self.churn_events {
-            self.wake.push(Reverse(ev.slot));
+        for i in 0..self.churn_events.len() {
+            let at = self.churn_events[i].slot;
+            self.push_wake(at);
         }
     }
 
@@ -470,10 +530,16 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
     fn next_wake(&mut self, max_slots: u64) -> Option<u64> {
         while let Some(Reverse(s)) = self.wake.pop() {
             if s < self.synced_next {
+                self.rec.add("engine.wakeups_stale", 1);
                 continue;
             }
             if s >= max_slots {
                 return None;
+            }
+            self.rec.add("engine.wakeups_fired", 1);
+            if R::ENABLED {
+                self.rec
+                    .observe("engine.wake_heap_depth", self.wake.len() as u64);
             }
             return Some(s);
         }
@@ -487,6 +553,8 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
         if ticks == 0 {
             return;
         }
+        let mut warps = 0u64;
+        let mut literal = 0u64;
         for i in 0..self.devices.len() {
             // Departed devices are frozen, exactly as in the stepped
             // loop's tick skip.
@@ -501,6 +569,7 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
                 Some((phase, moved)) => {
                     self.devices[i].osc.warp(phase, ticks);
                     self.cursors[i] = Some(moved);
+                    warps += 1;
                 }
                 None => {
                     self.cursors[i] = None;
@@ -509,10 +578,16 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
                         fires, 0,
                         "device {i} fired inside a skipped window ending at slot {s}"
                     );
+                    literal += 1;
                 }
             }
         }
         self.synced_next = s;
+        if R::ENABLED {
+            self.rec.add("engine.slots_skipped", ticks);
+            self.rec.add("osc.cursor_warps", warps);
+            self.rec.add("osc.literal_advances", literal);
+        }
     }
 
     /// Re-arm the wake queue after materializing slot `s`: re-predict
@@ -530,16 +605,22 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
             };
             self.cursors[v as usize] = cur;
             let k = match cur {
-                Some(c) => u64::from(self.traj.ticks_to_fire(c)),
-                None => u64::from(self.devices[v as usize].osc.ticks_to_next_fire()),
+                Some(c) => {
+                    self.rec.add("osc.cursor_derived", 1);
+                    u64::from(self.traj.ticks_to_fire(c))
+                }
+                None => {
+                    self.rec.add("osc.cursor_fallback", 1);
+                    u64::from(self.devices[v as usize].osc.ticks_to_next_fire())
+                }
             };
-            self.wake.push(Reverse(s + k));
+            self.push_wake(s + k);
         }
-        self.wake
-            .push(Reverse(s + (SYNC_CHECK_INTERVAL - s % SYNC_CHECK_INTERVAL)));
+        self.push_wake(s + (SYNC_CHECK_INTERVAL - s % SYNC_CHECK_INTERVAL));
     }
 
     fn run(mut self) -> RunOutcome {
+        let t_run = self.rec.start();
         let world = self.world;
         let n = self.devices.len();
         self.ground_truth_links = if S::ENABLED {
@@ -611,6 +692,7 @@ impl<'w, S: TraceSink, const EV: bool> FstEngine<'w, S, EV> {
             });
             self.sink.finish();
         }
+        self.rec.stop("engine.run_ns", t_run);
 
         let discovered_links: u64 = self
             .devices

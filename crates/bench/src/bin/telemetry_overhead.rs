@@ -1,0 +1,191 @@
+//! Telemetry overhead: plain vs. disabled-recorder vs. enabled-recorder.
+//!
+//! Usage: telemetry_overhead [--trials K] [--tolerance PCT] [--passes P]
+//!
+//! The telemetry layer's central claim is zero-cost-off: running an
+//! engine through `run_in_instrumented` with a [`NullRecorder`] must
+//! monomorphize to the same machine code as the plain `run_in` path, so
+//! the two arms should be wall-clock indistinguishable. This bench
+//! locks that claim: it times three arms on the paper's dense Table-1
+//! scenario (single-threaded medium, so the OS scheduler stays out of
+//! the measurement) and **asserts** that the disabled-recorder overhead
+//! is within `--tolerance` percent (default 2) of the plain arm.
+//!
+//! Shared-host noise is handled in three layers, because on a busy CI
+//! box it is the same magnitude as the budget being gated:
+//!
+//! * each arm observation is the **min of 3** back-to-back micro-runs
+//!   (noise is bursty and only ever adds time, so the minimum of a
+//!   tight cluster is the cleanest observation);
+//! * the estimator is the **median of paired per-iteration ratios**,
+//!   with the arm order alternating every iteration, so slow drift and
+//!   first-runner effects cancel inside each ratio;
+//! * if a pass still exceeds the budget, the whole measurement is
+//!   retried (up to `--passes`, default 3). This is sound because the
+//!   claim under test is structural — both arms jump to the *same*
+//!   monomorphized function — so a single clean pass proves there is no
+//!   systematic overhead, while a real regression fails every pass.
+//!
+//! The enabled-[`Telemetry`] arm is reported for context but not
+//! asserted — its cost is real (clock reads on every slot and medium
+//! resolve) and allowed to show.
+//!
+//! All three arms are asserted outcome-identical before timing — an
+//! overhead number for a different simulation would be meaningless.
+//!
+//! Writes `BENCH_telemetry_overhead.json` at the repo root. Run with
+//! `--release` — debug timings are meaningless.
+
+use std::time::Instant;
+
+use ffd2d_core::{Parallelism, ScenarioConfig, StProtocol, World};
+use ffd2d_sim::time::SlotDuration;
+use ffd2d_telemetry::{NullRecorder, Telemetry};
+use ffd2d_trace::NullSink;
+
+fn time_secs<F: FnMut() -> u64>(mut run: F) -> f64 {
+    let start = Instant::now();
+    let tx = run();
+    let secs = start.elapsed().as_secs_f64();
+    // Keep the run from being optimized out.
+    assert!(tx > 0);
+    secs
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    xs[xs.len() / 2]
+}
+
+/// One measurement pass: `(plain_median_s, disabled_pct, enabled_pct)`.
+fn measure(world: &World, trials: usize) -> (f64, f64, f64) {
+    let min3 = |f: &mut dyn FnMut() -> f64| f().min(f()).min(f());
+    let run_plain = || min3(&mut || time_secs(|| StProtocol::run_in(world).counters.total_tx()));
+    let run_disabled = || {
+        min3(&mut || {
+            time_secs(|| {
+                StProtocol::run_in_instrumented(world, &mut NullSink, &mut NullRecorder)
+                    .counters
+                    .total_tx()
+            })
+        })
+    };
+    let run_enabled = || {
+        min3(&mut || {
+            time_secs(|| {
+                let mut rec = Telemetry::new();
+                StProtocol::run_in_instrumented(world, &mut NullSink, &mut rec)
+                    .counters
+                    .total_tx()
+            })
+        })
+    };
+
+    let (mut plain_t, mut disabled_r, mut enabled_r) = (Vec::new(), Vec::new(), Vec::new());
+    for i in 0..trials.max(3) {
+        let (plain, disabled, enabled) = if i % 2 == 0 {
+            let p = run_plain();
+            let d = run_disabled();
+            let e = run_enabled();
+            (p, d, e)
+        } else {
+            let e = run_enabled();
+            let d = run_disabled();
+            let p = run_plain();
+            (p, d, e)
+        };
+        plain_t.push(plain);
+        disabled_r.push(disabled / plain);
+        enabled_r.push(enabled / plain);
+    }
+    let plain = median(plain_t);
+    let disabled_pct = (median(disabled_r) - 1.0) * 100.0;
+    let enabled_pct = (median(enabled_r) - 1.0) * 100.0;
+    (plain, disabled_pct, enabled_pct)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let value_of = |flag: &str| -> Option<f64> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    let trials = value_of("--trials").unwrap_or(12.0) as usize;
+    let tolerance = value_of("--tolerance").unwrap_or(2.0);
+    let passes = (value_of("--passes").unwrap_or(3.0) as usize).max(1);
+
+    let n = 120;
+    let horizon = 6_000u64;
+    let cfg = ScenarioConfig::table1(n)
+        .seeded(0x7E1E)
+        .with_max_slots(SlotDuration(horizon))
+        .with_parallelism(Parallelism::Off);
+    let world = World::new(&cfg);
+
+    // The overhead comparison is only meaningful if all arms run the
+    // same simulation; this is the neutrality the test suite locks.
+    let plain_out = StProtocol::run_in(&world);
+    let disabled_out = StProtocol::run_in_instrumented(&world, &mut NullSink, &mut NullRecorder);
+    let mut probe = Telemetry::new();
+    let enabled_out = StProtocol::run_in_instrumented(&world, &mut NullSink, &mut probe);
+    assert_eq!(plain_out, disabled_out, "NullRecorder perturbed the run");
+    assert_eq!(plain_out, enabled_out, "Telemetry perturbed the run");
+    assert!(
+        probe.counter("engine.slots_materialized") > 0,
+        "enabled arm recorded nothing — bench would compare no-ops"
+    );
+
+    let (mut plain, mut disabled_pct, mut enabled_pct) = (0.0, f64::INFINITY, 0.0);
+    let mut passes_run = 0;
+    for pass in 1..=passes {
+        (plain, disabled_pct, enabled_pct) = measure(&world, trials);
+        passes_run = pass;
+        println!(
+            "pass {pass}: n={n}  plain {plain:.4}s  \
+             disabled-recorder {disabled_pct:+.2}%  enabled {enabled_pct:+.2}%"
+        );
+        if disabled_pct < tolerance {
+            break;
+        }
+        eprintln!("pass {pass} exceeded the {tolerance}% budget; retrying (host noise?)");
+    }
+    let disabled = plain * (1.0 + disabled_pct / 100.0);
+    let enabled = plain * (1.0 + enabled_pct / 100.0);
+
+    let cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \"bench\": \"telemetry_overhead\",\n  \"protocol\": \"ST\",\n  \
+         \"scenario\": {{\"arena\": \"table1 dense\", \"n\": {n}, \
+         \"horizon_slots\": {horizon}, \"seed\": 32286, \"trials\": {trials}, \
+         \"passes_run\": {passes_run}, \
+         \"metric\": \"median of paired per-iteration ratios of min-of-3 micro-runs, \
+single-threaded medium\"}},\n  \
+         \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {cpus}, \
+         \"profile\": \"{}\"}},\n  \"results\": {{\n    \
+         \"plain_s\": {plain:.6},\n    \"disabled_recorder_s\": {disabled:.6},\n    \
+         \"enabled_recorder_s\": {enabled:.6},\n    \
+         \"disabled_overhead_pct\": {disabled_pct:.3},\n    \
+         \"enabled_overhead_pct\": {enabled_pct:.3},\n    \
+         \"tolerance_pct\": {tolerance}\n  }}\n}}\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+    );
+    std::fs::write("BENCH_telemetry_overhead.json", &json)
+        .expect("write BENCH_telemetry_overhead.json");
+    eprintln!("wrote BENCH_telemetry_overhead.json");
+
+    assert!(
+        disabled_pct < tolerance,
+        "disabled-recorder overhead {disabled_pct:.2}% exceeds the {tolerance}% budget in \
+         every pass — the zero-cost-off claim is broken"
+    );
+}

@@ -51,6 +51,7 @@ use ffd2d_sim::counters::Counters;
 use ffd2d_sim::deployment::DeviceId;
 use ffd2d_sim::rng::{StreamId, StreamRng};
 use ffd2d_sim::time::{Slot, SlotDuration};
+use ffd2d_telemetry::{NullRecorder, Recorder};
 use ffd2d_trace::{
     Codec, FaultKind, FrameLabel, NullSink, ProtoPhase, RejectReason, TraceEvent, TraceSink,
 };
@@ -117,10 +118,35 @@ impl StProtocol {
     /// JSONL logs) are bit-identical between the modes either way,
     /// locked down by `tests/engine_equivalence.rs`.
     pub fn run_in_traced<S: TraceSink>(world: &World, sink: &mut S) -> RunOutcome {
+        Self::run_in_instrumented(world, sink, &mut NullRecorder)
+    }
+
+    /// Run one trial with performance telemetry: slot-loop stage
+    /// timers, calendar-queue statistics, medium resolution costs and
+    /// fault-application tallies land in `rec`.
+    pub fn run_instrumented<R: Recorder>(cfg: &ScenarioConfig, rec: &mut R) -> RunOutcome {
+        let world = World::new(cfg);
+        Self::run_in_instrumented(&world, &mut NullSink, rec)
+    }
+
+    /// [`StProtocol::run_in_traced`] with performance telemetry.
+    ///
+    /// Telemetry is strictly observational — the recorder consumes no
+    /// randomness and feeds nothing back into the protocol, so the
+    /// outcome (and any trace JSONL) is bit-identical to an unrecorded
+    /// run (locked by `tests/telemetry.rs`). Unlike tracing, recording
+    /// does **not** force the stepped engine: the engine-mode dispatch
+    /// keys on the sink alone, so the event-driven calendar queue can
+    /// be profiled directly.
+    pub fn run_in_instrumented<S: TraceSink, R: Recorder>(
+        world: &World,
+        sink: &mut S,
+        rec: &mut R,
+    ) -> RunOutcome {
         if !S::ENABLED && world.config().engine == EngineMode::EventDriven {
-            Engine::<S, true>::new(world, sink).run()
+            Engine::<S, R, true>::new(world, sink, rec).run()
         } else {
-            Engine::<S, false>::new(world, sink).run()
+            Engine::<S, R, false>::new(world, sink, rec).run()
         }
     }
 }
@@ -284,11 +310,15 @@ enum Phase {
 ///   wake set is a superset of every slot in which anything beyond
 ///   pure phase ticking happens — which is what makes the two modes
 ///   bit-identical (locked by `tests/engine_equivalence.rs`).
-struct Engine<'w, S: TraceSink, const EV: bool> {
+struct Engine<'w, S: TraceSink, R: Recorder, const EV: bool> {
     world: &'w World,
     /// Protocol-event sink; all emission sites are gated on
     /// `S::ENABLED`, so a [`NullSink`] engine is the untraced engine.
     sink: &'w mut S,
+    /// Performance recorder; sites are no-ops (and clock reads vanish)
+    /// under [`NullRecorder`], so an unrecorded engine is the
+    /// uninstrumented engine.
+    rec: &'w mut R,
     devices: Vec<Device>,
     m: Vec<MState>,
     /// Authoritative undirected tree adjacency.
@@ -379,8 +409,8 @@ struct Engine<'w, S: TraceSink, const EV: bool> {
     beacon_residues: Vec<u64>,
 }
 
-impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
-    fn new(world: &'w World, sink: &'w mut S) -> Self {
+impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
+    fn new(world: &'w World, sink: &'w mut S, rec: &'w mut R) -> Self {
         let cfg = world.config();
         let n = world.n();
         let seed = cfg.sim.seed;
@@ -416,6 +446,7 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
         Engine {
             world,
             sink,
+            rec,
             devices,
             m: vec![MState::default(); n],
             tree: vec![Vec::new(); n],
@@ -554,7 +585,7 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
         if EV {
             // The round boundary is a phase-transition point and must be
             // materialized.
-            self.wake.push(Reverse(self.round_end));
+            self.push_wake(self.round_end);
         }
         if S::ENABLED {
             let fragments = self.fragment_count();
@@ -681,7 +712,7 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
         st.hs_next_tx = slot.0 + 1 + self.rng.gen_range(0..cfg.handshake_window as u64);
         if EV {
             let at = st.hs_next_tx;
-            self.wake.push(Reverse(at));
+            self.push_wake(at);
         }
     }
 
@@ -1232,6 +1263,7 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
             let ev = self.churn_events[self.next_churn];
             self.next_churn += 1;
             any = true;
+            self.rec.add("chaos.churn_events", 1);
             match ev.kind {
                 ChurnKind::Leave => self.device_leave(ev.device, slot),
                 ChurnKind::Join => self.device_join(ev.device, slot),
@@ -1402,6 +1434,14 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
         self.start_round(slot);
     }
 
+    /// Schedule a wake-up slot, tallying calendar-queue pressure for an
+    /// enabled recorder (a no-op push otherwise).
+    #[inline]
+    fn push_wake(&mut self, s: u64) {
+        self.rec.add("engine.wakeups_scheduled", 1);
+        self.wake.push(Reverse(s));
+    }
+
     /// Queue a staggered fire transmission for a device whose firing
     /// instant was `base_age` slots ago (0 for a natural threshold
     /// crossing; the absorbing pulse's age for an absorption).
@@ -1416,7 +1456,7 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
             // be materialized for the ring take to find them (`j = 0`
             // entries are taken later in the *current*, already
             // materialized slot).
-            self.wake.push(Reverse(slot.0 + j));
+            self.push_wake(slot.0 + j);
         }
     }
 
@@ -1508,13 +1548,14 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
             let devices = &mut self.devices;
             let prc = &self.prc;
             let touched = &mut self.touched;
-            self.medium.resolve_masked(
+            self.medium.resolve_instrumented(
                 self.world,
                 slot,
                 &pending,
                 active_mask,
                 &mut self.counters,
                 &mut *self.sink,
+                &mut *self.rec,
                 |receiver, sig, rx_dbm, sink| {
                     // Frame faults apply at the engine boundary, after
                     // the decode decision: a dropped frame was on the
@@ -1601,6 +1642,12 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
         }
         self.counters.fault_dropped_frames += fault_drops;
         self.counters.fault_dup_frames += fault_dups;
+        if fault_drops > 0 {
+            self.rec.add("chaos.frames_dropped", fault_drops);
+        }
+        if fault_dups > 0 {
+            self.rec.add("chaos.frames_duplicated", fault_dups);
+        }
         for (receiver, sig) in rach2_events {
             self.handle_rach2(receiver, &sig, slot);
         }
@@ -1628,10 +1675,30 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
         ffd2d_osc::sync::phase_spread(&self.phases_scratch)
     }
 
+    /// One materialized slot, wrapped in a phase-keyed scoped timer
+    /// when a recorder listens. The key is derived from the phase *at
+    /// slot entry*, so a transition inside the body bills to the phase
+    /// that paid for the work.
+    fn slot_body(&mut self, slot: Slot) -> Option<u64> {
+        if !R::ENABLED {
+            return self.slot_body_inner(slot);
+        }
+        let key = match self.phase {
+            Phase::Discovery => "engine.slot.discovery",
+            Phase::Merge => "engine.slot.merge",
+            Phase::Sync => "engine.slot.sync",
+        };
+        let t_slot = self.rec.start();
+        let probe = self.slot_body_inner(slot);
+        self.rec.add("engine.slots_materialized", 1);
+        self.rec.stop(key, t_slot);
+        probe
+    }
+
     /// One materialized slot — the body shared verbatim by the stepped
     /// and event-driven loops. Returns `Some(slot)` when convergence is
     /// declared (the caller breaks out of its loop).
-    fn slot_body(&mut self, slot: Slot) -> Option<u64> {
+    fn slot_body_inner(&mut self, slot: Slot) -> Option<u64> {
         let world = self.world;
         let cfg = world.config();
         let n = self.devices.len();
@@ -1739,7 +1806,7 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
                             + self.rng.gen_range(0..cfg.protocol.handshake_window as u64);
                         st.hs_next_tx = next;
                         if EV {
-                            self.wake.push(Reverse(next));
+                            self.push_wake(next);
                         }
                     }
                 }
@@ -1786,15 +1853,16 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
     /// ticks fires in slot `k - 1`: slot bodies tick once each, starting
     /// at slot 0.)
     fn schedule_initial(&mut self) {
-        self.wake.push(Reverse(self.discovery_end));
+        self.push_wake(self.discovery_end);
         for i in 0..self.devices.len() {
             let k = u64::from(self.devices[i].osc.ticks_to_next_fire());
-            self.wake.push(Reverse(k - 1));
+            self.push_wake(k - 1);
         }
         // Churn slots must materialize: joins/leaves happen at the top
         // of the slot body, and the heap keeps them in slot order.
-        for ev in &self.churn_events {
-            self.wake.push(Reverse(ev.slot));
+        for i in 0..self.churn_events.len() {
+            let at = self.churn_events[i].slot;
+            self.push_wake(at);
         }
     }
 
@@ -1805,10 +1873,16 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
     fn next_wake(&mut self, max_slots: u64) -> Option<u64> {
         while let Some(Reverse(s)) = self.wake.pop() {
             if s < self.synced_next {
+                self.rec.add("engine.wakeups_stale", 1);
                 continue;
             }
             if s >= max_slots {
                 return None;
+            }
+            self.rec.add("engine.wakeups_fired", 1);
+            if R::ENABLED {
+                self.rec
+                    .observe("engine.wake_heap_depth", self.wake.len() as u64);
             }
             return Some(s);
         }
@@ -1825,6 +1899,8 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
         if ticks == 0 {
             return;
         }
+        let mut warps = 0u64;
+        let mut literal = 0u64;
         for i in 0..self.devices.len() {
             // Departed devices are frozen: their oscillators stop with
             // them, exactly as in the stepped loop's tick skip.
@@ -1839,6 +1915,7 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
                 Some((phase, moved)) => {
                     self.devices[i].osc.warp(phase, ticks);
                     self.cursors[i] = Some(moved);
+                    warps += 1;
                 }
                 None => {
                     self.cursors[i] = None;
@@ -1847,17 +1924,23 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
                         fires, 0,
                         "device {i} fired inside a skipped window ending at slot {s}"
                     );
+                    literal += 1;
                 }
             }
         }
         self.synced_next = s;
+        if R::ENABLED {
+            self.rec.add("engine.slots_skipped", ticks);
+            self.rec.add("osc.cursor_warps", warps);
+            self.rec.add("osc.literal_advances", literal);
+        }
     }
 
     /// Re-arm the wake queue after materializing slot `s`.
     fn post_schedule(&mut self, s: u64) {
         // Unicasts sent this slot deliver next slot.
         if !self.outbox.is_empty() {
-            self.wake.push(Reverse(s + 1));
+            self.push_wake(s + 1);
         }
         // Devices whose phase changed: re-derive the trajectory cursor
         // from the (canonical) reset phase and re-predict the fire.
@@ -1872,10 +1955,16 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
             };
             self.cursors[v as usize] = cur;
             let k = match cur {
-                Some(c) => u64::from(self.traj.ticks_to_fire(c)),
-                None => u64::from(self.devices[v as usize].osc.ticks_to_next_fire()),
+                Some(c) => {
+                    self.rec.add("osc.cursor_derived", 1);
+                    u64::from(self.traj.ticks_to_fire(c))
+                }
+                None => {
+                    self.rec.add("osc.cursor_fallback", 1);
+                    u64::from(self.devices[v as usize].osc.ticks_to_next_fire())
+                }
             };
-            self.wake.push(Reverse(s + k));
+            self.push_wake(s + k);
         }
         match self.phase {
             // The discovery→merge boundary is scheduled up front.
@@ -1885,14 +1974,13 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
             // the next one, so the chain spans the whole phase.
             Phase::Merge => {
                 if let Some(b) = self.next_beacon_slot(s) {
-                    self.wake.push(Reverse(b));
+                    self.push_wake(b);
                 }
             }
             // Convergence probes run on the SYNC_CHECK_INTERVAL grid;
             // like the beacons, each probe re-arms the next.
             Phase::Sync => {
-                self.wake
-                    .push(Reverse(s + (SYNC_CHECK_INTERVAL - s % SYNC_CHECK_INTERVAL)));
+                self.push_wake(s + (SYNC_CHECK_INTERVAL - s % SYNC_CHECK_INTERVAL));
             }
         }
     }
@@ -1914,6 +2002,7 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
     }
 
     fn run(mut self) -> RunOutcome {
+        let t_run = self.rec.start();
         let world = self.world;
         let cfg = world.config();
         let n = self.devices.len();
@@ -1992,6 +2081,7 @@ impl<'w, S: TraceSink, const EV: bool> Engine<'w, S, EV> {
             });
             self.sink.finish();
         }
+        self.rec.stop("engine.run_ns", t_run);
         self.finish(convergence, reconvergence)
     }
 

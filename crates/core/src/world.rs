@@ -41,6 +41,7 @@
 //! `medium_equivalence` integration harness.
 
 use std::sync::OnceLock;
+use std::time::Instant;
 
 use rand::Rng;
 
@@ -59,6 +60,7 @@ use ffd2d_sim::counters::Counters;
 use ffd2d_sim::deployment::{Deployment, DeviceId, Meters, Position};
 use ffd2d_sim::rng::{StreamId, StreamRng};
 use ffd2d_sim::time::Slot;
+use ffd2d_telemetry::{NullRecorder, Recorder};
 use ffd2d_trace::{NullSink, TraceEvent, TraceSink};
 
 use crate::scenario::ScenarioConfig;
@@ -364,6 +366,14 @@ struct ShardScratch {
     tick: u64,
     /// Above-threshold (detected) pairs seen this slot.
     detected: u64,
+    // --- Telemetry (written only when the resolving recorder is
+    // enabled; the disabled path never touches these) ---
+    /// Wall-clock nanoseconds this shard spent accumulating this slot.
+    busy_ns: u64,
+    /// Link-gain LRU hits this slot.
+    lru_hits: u64,
+    /// Link-gain LRU misses (full `mean_rx_dbm` recomputations).
+    lru_misses: u64,
 }
 
 /// Read-only per-slot inputs shared by every accumulation shard.
@@ -401,6 +411,9 @@ impl ShardScratch {
             cache_used: vec![0; n * LINK_CACHE_WAYS],
             tick: 0,
             detected: 0,
+            busy_ns: 0,
+            lru_hits: 0,
+            lru_misses: 0,
         }
     }
 
@@ -410,19 +423,32 @@ impl ShardScratch {
     }
 
     /// Mean link gain `sender → receiver` through the per-receiver LRU.
+    /// `TELEM` additionally tallies hit/miss counts; `false` compiles
+    /// to the bare lookup.
     #[inline]
-    fn mean_cached(&mut self, world: &World, sender: DeviceId, receiver: DeviceId) -> f64 {
+    fn mean_cached<const TELEM: bool>(
+        &mut self,
+        world: &World,
+        sender: DeviceId,
+        receiver: DeviceId,
+    ) -> f64 {
         let base = receiver as usize * LINK_CACHE_WAYS;
         self.tick += 1;
         let mut victim = base;
         for way in base..base + LINK_CACHE_WAYS {
             if self.cache_peer[way] == sender {
                 self.cache_used[way] = self.tick;
+                if TELEM {
+                    self.lru_hits += 1;
+                }
                 return self.cache_mean[way];
             }
             if self.cache_used[way] < self.cache_used[victim] {
                 victim = way;
             }
+        }
+        if TELEM {
+            self.lru_misses += 1;
         }
         let mean = world.mean_rx_dbm(sender, receiver);
         self.cache_peer[victim] = sender;
@@ -436,7 +462,7 @@ impl ShardScratch {
     /// transmissions in submission order — the sequential loop's exact
     /// visit order, so the per-key results cannot depend on how cells
     /// were chunked across shards.
-    fn accumulate(&mut self, ctx: &SlotCtx<'_>, cells: &[u32]) {
+    fn accumulate<const TELEM: bool>(&mut self, ctx: &SlotCtx<'_>, cells: &[u32]) {
         for &cell in cells {
             let cell = cell as usize;
             let txs_here = &ctx.cell_txs[cell];
@@ -451,7 +477,7 @@ impl ShardScratch {
                 }
                 for &ti in txs_here {
                     let tx = &ctx.transmissions[ti as usize];
-                    let mean = self.mean_cached(ctx.world, tx.sender, r);
+                    let mean = self.mean_cached::<TELEM>(ctx.world, tx.sender, r);
                     if mean < ctx.mean_floor {
                         // Provably below threshold for any fading draw;
                         // tallied by the closed-form reconstruction.
@@ -596,14 +622,52 @@ impl FastMedium {
         active: Option<&[bool]>,
         counters: &mut Counters,
         sink: &mut S,
+        deliver: F,
+    ) where
+        S: TraceSink,
+        F: FnMut(DeviceId, &ProximitySignal, f64, &mut S),
+    {
+        self.resolve_instrumented(
+            world,
+            slot,
+            transmissions,
+            active,
+            counters,
+            sink,
+            &mut NullRecorder,
+            deliver,
+        )
+    }
+
+    /// [`FastMedium::resolve_masked`] with performance telemetry: an
+    /// enabled [`Recorder`] gets the slot's resolution wall clock,
+    /// candidate-pair count, per-shard busy time (plus a max-over-mean
+    /// imbalance ratio when sharded) and link-LRU hit/miss tallies.
+    /// Telemetry is strictly observational — it draws no randomness and
+    /// feeds nothing back into resolution, so counters, trace events,
+    /// deliveries and their order are bit-identical to an unrecorded
+    /// slot; with [`NullRecorder`] this monomorphizes to exactly
+    /// [`FastMedium::resolve_masked`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn resolve_instrumented<S, R, F>(
+        &mut self,
+        world: &World,
+        slot: Slot,
+        transmissions: &[ProximitySignal],
+        active: Option<&[bool]>,
+        counters: &mut Counters,
+        sink: &mut S,
+        rec: &mut R,
         mut deliver: F,
     ) where
         S: TraceSink,
+        R: Recorder,
         F: FnMut(DeviceId, &ProximitySignal, f64, &mut S),
     {
         if transmissions.is_empty() {
             return;
         }
+        let t_resolve = rec.start();
         let faults = &world.config().faults;
         let droops: Option<Vec<f64>> = if faults.droop.is_empty() {
             None
@@ -683,6 +747,11 @@ impl FastMedium {
         for shard in &mut self.shards[..workers] {
             shard.detected = 0;
             shard.touched.clear();
+            if R::ENABLED {
+                shard.busy_ns = 0;
+                shard.lru_hits = 0;
+                shard.lru_misses = 0;
+            }
         }
 
         let threshold = world.threshold_dbm();
@@ -699,11 +768,26 @@ impl FastMedium {
             active,
             droop: droops.as_deref(),
         };
-        sharded_for_each(
-            &self.touched_cells,
-            &mut self.shards[..workers],
-            |_, cells, shard| shard.accumulate(&ctx, cells),
-        );
+        if R::ENABLED {
+            // Timed accumulation: each shard clocks its own busy window
+            // on its own thread (the recorder itself stays on this
+            // thread and is flushed after the join).
+            sharded_for_each(
+                &self.touched_cells,
+                &mut self.shards[..workers],
+                |_, cells, shard| {
+                    let t0 = Instant::now();
+                    shard.accumulate::<true>(&ctx, cells);
+                    shard.busy_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                },
+            );
+        } else {
+            sharded_for_each(
+                &self.touched_cells,
+                &mut self.shards[..workers],
+                |_, cells, shard| shard.accumulate::<false>(&ctx, cells),
+            );
+        }
 
         // Gather every shard's touched keys for globally-ordered
         // delivery. Keys are unique across shards (one home cell per
@@ -789,6 +873,31 @@ impl FastMedium {
                     });
                 }
             }
+        }
+
+        if R::ENABLED {
+            rec.add("medium.slots_resolved", 1);
+            rec.add("medium.transmissions", transmissions.len() as u64);
+            rec.observe("medium.pairs_per_slot", pairs);
+            rec.observe("medium.workers_per_slot", workers as u64);
+            let (mut hits, mut misses) = (0u64, 0u64);
+            let (mut busy_max, mut busy_sum) = (0u64, 0u64);
+            for shard in &self.shards[..workers] {
+                hits += shard.lru_hits;
+                misses += shard.lru_misses;
+                busy_max = busy_max.max(shard.busy_ns);
+                busy_sum += shard.busy_ns;
+                rec.record_ns("medium.shard_busy_ns", shard.busy_ns);
+            }
+            rec.add("medium.lru_hits", hits);
+            rec.add("medium.lru_misses", misses);
+            if workers > 1 && busy_sum > 0 {
+                // Shard imbalance: slowest shard over the mean, in
+                // percent (100 = perfectly balanced).
+                let mean = (busy_sum / workers as u64).max(1);
+                rec.observe("medium.shard_imbalance_pct", busy_max * 100 / mean);
+            }
+            rec.stop("medium.resolve_ns", t_resolve);
         }
     }
 }

@@ -2,7 +2,7 @@
 //! Usage: ablation [sigma|coupling|density|topology|all]
 //!                 [--engine stepped|event]
 //!                 [--faults churn-light|churn-heavy|lossy|PLAN.json]
-//!                 [--trace DIR]
+//!                 [--trace DIR] [--telemetry DIR]
 //!
 //! `--engine` selects the slot engine for the radio-backed sweeps
 //! (A1, A3); results are bit-identical under both settings.
@@ -13,6 +13,10 @@
 //! results/timeline_ablation_st.csv. `--faults` attaches a seeded
 //! churn / frame-loss plan to that traced trial, so the timeline shows
 //! the fragment split and re-convergence after each fault.
+//!
+//! With `--telemetry DIR`, runs one self-profiled ST trial of the same
+//! baseline scenario: a run manifest at DIR/ablation_st.json (+ .prom),
+//! readable with `perf_inspect`.
 
 use ffd2d_core::ScenarioConfig;
 use ffd2d_experiments::ablation::{
@@ -21,8 +25,10 @@ use ffd2d_experiments::ablation::{
 use ffd2d_sim::time::SlotDuration;
 
 fn main() {
-    // Validate `--trace` / `--faults` usage before paying for the sweeps.
+    // Validate `--trace` / `--telemetry` / `--faults` usage before
+    // paying for the sweeps.
     let trace_dir = ffd2d_experiments::trace_dir_from_args();
+    let telemetry_dir = ffd2d_experiments::telemetry_dir_from_args();
     let fault_spec = ffd2d_experiments::faults_from_args();
     // A leading flag (e.g. `ablation --engine stepped`) means "all".
     let which = std::env::args()
@@ -102,7 +108,7 @@ fn main() {
             path.ci95_half_width()
         );
     }
-    if let Some(dir) = trace_dir {
+    if trace_dir.is_some() || telemetry_dir.is_some() {
         let params = AblationParams::default();
         let faults = match &fault_spec {
             Some(spec) => match ffd2d_core::FaultPlan::resolve(spec, params.n, params.horizon.0) {
@@ -118,14 +124,28 @@ fn main() {
             .seeded(params.seed)
             .with_max_slots(params.horizon)
             .with_faults(faults);
-        match ffd2d_experiments::trace::write_st_trace(&scenario, &dir, "ablation_st") {
-            Ok(path) => eprintln!(
-                "traced baseline ST trial: {} + results/timeline_ablation_st.csv",
-                path.display()
-            ),
-            Err(e) => {
-                eprintln!("--trace failed: {e}");
-                std::process::exit(1);
+        if let Some(dir) = trace_dir {
+            match ffd2d_experiments::trace::write_st_trace(&scenario, &dir, "ablation_st") {
+                Ok(path) => eprintln!(
+                    "traced baseline ST trial: {} + results/timeline_ablation_st.csv",
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("--trace failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(dir) = telemetry_dir {
+            match ffd2d_experiments::telemetry::write_st_telemetry(&scenario, &dir, "ablation_st") {
+                Ok(path) => eprintln!(
+                    "profiled baseline ST trial: {} (render with perf_inspect)",
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("--telemetry failed: {e}");
+                    std::process::exit(1);
+                }
             }
         }
     }

@@ -1,14 +1,18 @@
 //! Regenerates the paper's Fig. 3 (convergence time vs. number of
 //! nodes, ST vs. FST).
 //!
-//! Usage: fig3 [--quick] [--trials N] [--max-n M] [--horizon SLOTS]
+//! Usage: fig3 [--quick] [--trials N] [--max-n M] [--nodes LIST] [--horizon SLOTS]
 //!             [--engine stepped|event] [--medium-workers off|auto|K]
 //!             [--faults churn-light|churn-heavy|lossy|PLAN.json]
-//!             [--trace DIR]
+//!             [--trace DIR] [--telemetry DIR]
 //! Writes results/fig3.csv (+fig4.csv — same sweep; run `fig4` for the
 //! message view). With `--trace DIR`, additionally replays trial 0 of
 //! each node count with tracing on: JSONL event logs under DIR and
-//! per-slot timeline CSVs under results/ (see `trace_inspect`).
+//! per-slot timeline CSVs under results/ (see `trace_inspect`). With
+//! `--telemetry DIR`, replays trial 0 of each cell self-profiled
+//! instead: run manifests (`.json`/`.prom`) per cell plus a sweep
+//! rollup under DIR (see `perf_inspect`). Both replays are outcome-
+//! neutral — the CSVs are untouched.
 //! `--engine` selects the slot engine (default: event);
 //! `--medium-workers` shards per-slot medium resolution inside a run
 //! (default: off for sweeps, auto when `--trials 1`). Both knobs are
@@ -20,8 +24,10 @@
 use ffd2d_experiments::sweep::run_paper_sweep;
 
 fn main() {
-    // Validate `--trace` usage before paying for the sweep.
+    // Validate `--trace` / `--telemetry` usage before paying for the
+    // sweep.
     let trace_dir = ffd2d_experiments::trace_dir_from_args();
+    let telemetry_dir = ffd2d_experiments::telemetry_dir_from_args();
     let params = ffd2d_experiments::sweep_params_from_args();
     eprintln!(
         "running paired sweep: n = {:?}, {} trials, horizon {} slots ...",
@@ -45,6 +51,19 @@ fn main() {
             ),
             Err(e) => {
                 eprintln!("--trace failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(dir) = telemetry_dir {
+        match ffd2d_experiments::write_sweep_telemetry(&params, &dir) {
+            Ok(paths) => eprintln!(
+                "profiled trial 0 of each cell: {} manifests under {} (render with perf_inspect)",
+                paths.len(),
+                dir.display()
+            ),
+            Err(e) => {
+                eprintln!("--telemetry failed: {e}");
                 std::process::exit(1);
             }
         }

@@ -3,11 +3,13 @@
 //! carries the loss-attribution columns (collision rate, below-threshold
 //! rx loss) that explain the message-count divergence.
 //!
-//! Usage: fig4 [--quick] [--trials N] [--max-n M] [--horizon SLOTS]
+//! Usage: fig4 [--quick] [--trials N] [--max-n M] [--nodes LIST] [--horizon SLOTS]
 //!             [--engine stepped|event] [--medium-workers off|auto|K]
 //!             [--faults churn-light|churn-heavy|lossy|PLAN.json]
-//!             [--trace DIR]
-//! `--engine` selects the slot engine (default: event);
+//!             [--trace DIR] [--telemetry DIR]
+//! With `--telemetry DIR`, replays trial 0 of each cell self-profiled:
+//! run manifests per cell plus a sweep rollup under DIR (see
+//! `perf_inspect`). `--engine` selects the slot engine (default: event);
 //! `--medium-workers` shards per-slot medium resolution inside a run
 //! (default: off for sweeps, auto when `--trials 1`). Both knobs are
 //! outcome-neutral: the CSVs are bit-identical under every setting,
@@ -18,8 +20,10 @@
 use ffd2d_experiments::sweep::run_paper_sweep;
 
 fn main() {
-    // Validate `--trace` usage before paying for the sweep.
+    // Validate `--trace` / `--telemetry` usage before paying for the
+    // sweep.
     let trace_dir = ffd2d_experiments::trace_dir_from_args();
+    let telemetry_dir = ffd2d_experiments::telemetry_dir_from_args();
     let params = ffd2d_experiments::sweep_params_from_args();
     eprintln!(
         "running paired sweep: n = {:?}, {} trials, horizon {} slots ...",
@@ -43,6 +47,19 @@ fn main() {
             ),
             Err(e) => {
                 eprintln!("--trace failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(dir) = telemetry_dir {
+        match ffd2d_experiments::write_sweep_telemetry(&params, &dir) {
+            Ok(paths) => eprintln!(
+                "profiled trial 0 of each cell: {} manifests under {} (render with perf_inspect)",
+                paths.len(),
+                dir.display()
+            ),
+            Err(e) => {
+                eprintln!("--telemetry failed: {e}");
                 std::process::exit(1);
             }
         }

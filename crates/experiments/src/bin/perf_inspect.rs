@@ -1,0 +1,131 @@
+//! Render a hot-path breakdown from a telemetry run manifest written by
+//! `--telemetry` (see `fig3 --help` text).
+//!
+//! Usage: perf_inspect <manifest.json> [more.json ...]
+//!
+//! For each manifest, prints the config echo, the total wall clock, a
+//! stage table (stage, calls, total ms, p50/p95/p99, % of run — timers
+//! sorted by total time), the work counters, and the workload-shape
+//! observations. Durations vary run to run, but at the same seed the
+//! *structure* — every counter and every timer's call count — is
+//! deterministic, so two manifests of the same cell disagree only in
+//! the nanosecond columns.
+
+use std::process::ExitCode;
+
+use ffd2d_telemetry::{HistogramSummary, ManifestSummary};
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: perf_inspect <manifest.json> [more.json ...]");
+        return ExitCode::from(2);
+    }
+    let mut first = true;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("perf_inspect: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let manifest = match ManifestSummary::parse(&text) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("perf_inspect: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if !first {
+            println!();
+        }
+        first = false;
+        print_manifest(path, &manifest);
+    }
+    ExitCode::SUCCESS
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn print_manifest(path: &str, m: &ManifestSummary) {
+    println!("manifest: {path}");
+    println!("run: {}", m.label);
+    let config: Vec<String> = m.config.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    println!("config: {}", config.join(" "));
+    println!("wall clock: {:.3} ms", ms(m.wall_clock_ns));
+
+    // Stage table: every timer, heaviest first. "% of run" is against
+    // the total wall clock; stages nest (engine.run_ns contains the
+    // slot timers, which contain medium.resolve_ns), so the column is
+    // per-stage inclusive time, not a partition of 100%.
+    let mut timers: Vec<&HistogramSummary> = m.timers.iter().collect();
+    timers.sort_by(|a, b| b.total.cmp(&a.total).then_with(|| a.name.cmp(&b.name)));
+    println!("\nhot-path breakdown (inclusive per stage):");
+    println!(
+        "  {:<24} {:>10} {:>12} {:>10} {:>10} {:>10} {:>8}",
+        "stage", "calls", "total ms", "p50 ns", "p95 ns", "p99 ns", "% run"
+    );
+    if timers.is_empty() {
+        println!("  (no timers recorded)");
+    }
+    for t in timers {
+        let pct = if m.wall_clock_ns > 0 {
+            100.0 * t.total as f64 / m.wall_clock_ns as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  {:<24} {:>10} {:>12.3} {:>10} {:>10} {:>10} {:>7.1}%",
+            t.name,
+            t.count,
+            ms(t.total),
+            t.p50,
+            t.p95,
+            t.p99,
+            pct
+        );
+    }
+
+    println!("\ncounters:");
+    if m.counters.is_empty() {
+        println!("  (none)");
+    }
+    for (k, v) in &m.counters {
+        println!("  {k:<28} {v:>14}");
+    }
+
+    if !m.observations.is_empty() {
+        println!("\nworkload shape (observations):");
+        println!(
+            "  {:<24} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "metric", "samples", "p50", "p95", "p99", "max"
+        );
+        for o in &m.observations {
+            println!(
+                "  {:<24} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                o.name, o.count, o.p50, o.p95, o.p99, o.max
+            );
+        }
+    }
+
+    // Derived headline ratios, when their inputs are present.
+    let hits = m.counter("medium.lru_hits");
+    let misses = m.counter("medium.lru_misses");
+    if hits + misses > 0 {
+        println!(
+            "\nmean-cache (LRU) hit rate: {:.1}% ({hits} hits / {misses} misses)",
+            100.0 * hits as f64 / (hits + misses) as f64
+        );
+    }
+    let materialized = m.counter("engine.slots_materialized");
+    let skipped = m.counter("engine.slots_skipped");
+    if materialized + skipped > 0 {
+        println!(
+            "slots: {materialized} materialized, {skipped} skipped ({:.1}% idle warped past)",
+            100.0 * skipped as f64 / (materialized + skipped) as f64
+        );
+    }
+}

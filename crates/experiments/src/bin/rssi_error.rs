@@ -8,7 +8,10 @@ fn main() {
     println!("ratio histogram (r*/r in [0,4), 40 bins):");
     let total = report.histogram.total();
     for (i, &c) in report.histogram.counts().iter().enumerate() {
-        let (lo, hi) = report.histogram.bin_bounds(i);
+        let (lo, hi) = report
+            .histogram
+            .bin_bounds(i)
+            .expect("enumerating counts() stays in range");
         let bar = "#".repeat((c * 200 / total.max(1)) as usize);
         if c > 0 {
             println!("  [{lo:.1},{hi:.1}) {bar}");

@@ -25,13 +25,17 @@ pub mod fig2;
 pub mod rssi_error;
 pub mod sweep;
 pub mod table1;
+pub mod telemetry;
 pub mod trace;
 
 pub use sweep::{run_paper_sweep, SweepParams, SweepReport};
+pub use telemetry::{telemetry_dir_from_args, write_sweep_telemetry};
 pub use trace::{trace_dir_from_args, write_sweep_traces};
 
 /// Parse the common sweep flags shared by the `fig3`/`fig4` binaries:
-/// `--quick`, `--trials N`, `--max-n M`, `--horizon SLOTS`,
+/// `--quick`, `--trials N`, `--max-n M`, `--nodes LIST` (replace the
+/// sweep's node counts with an explicit comma-separated list, e.g.
+/// `--nodes 5000` to profile one out-of-sweep cell), `--horizon SLOTS`,
 /// `--engine stepped|event`, `--medium-workers off|auto|K`,
 /// `--faults churn-light|churn-heavy|lossy|PLAN.json` (see
 /// [`trace_dir_from_args`] for the `--trace DIR` flag).
@@ -60,6 +64,20 @@ pub fn sweep_params_from_args() -> SweepParams {
     }
     if let Some(m) = value_of("--max-n") {
         params.node_counts.retain(|&n| n as u64 <= m);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--nodes") {
+        let parsed: Option<Vec<usize>> = args
+            .get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .map(|v| v.split(',').map(|n| n.trim().parse().ok()).collect())
+            .unwrap_or(None);
+        match parsed {
+            Some(counts) if !counts.is_empty() => params.node_counts = counts,
+            _ => {
+                eprintln!("--nodes requires a comma-separated list of node counts, e.g. 1000,5000");
+                std::process::exit(2);
+            }
+        }
     }
     if let Some(h) = value_of("--horizon") {
         params.horizon = ffd2d_sim::time::SlotDuration(h);

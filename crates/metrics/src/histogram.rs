@@ -7,6 +7,19 @@
 use serde::{Deserialize, Serialize};
 
 /// A histogram with uniform bins over `[lo, hi)` plus under/overflow.
+///
+/// # Out-of-range policy
+///
+/// The bins cover exactly `[lo, hi)`. A sample `x < lo` increments the
+/// **underflow** tally, and `x >= hi` (the upper edge is exclusive)
+/// increments the **overflow** tally; both count toward
+/// [`Histogram::total`] but never land in a bin, never contribute to
+/// [`Histogram::density`], and never shift [`Histogram::mode_bin`].
+/// Read them back with [`Histogram::out_of_range`] — reports that drop
+/// them silently would misstate the distribution mass. `NaN` samples
+/// are rejected with a panic (there is no meaningful bin for them);
+/// infinities follow the ordinary comparisons and land in the
+/// under/overflow tallies.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Histogram {
     lo: f64,
@@ -62,10 +75,15 @@ impl Histogram {
         (self.underflow, self.overflow)
     }
 
-    /// The inclusive-exclusive bounds of bin `i`.
-    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+    /// The inclusive-exclusive bounds `[lo_i, hi_i)` of bin `i`, or
+    /// `None` when `i` is out of range (under/overflow tallies have no
+    /// bin and no bounds).
+    pub fn bin_bounds(&self, i: usize) -> Option<(f64, f64)> {
+        if i >= self.counts.len() {
+            return None;
+        }
         let w = (self.hi - self.lo) / self.counts.len() as f64;
-        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+        Some((self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w))
     }
 
     /// Fraction of in-range samples in bin `i`.
@@ -123,8 +141,10 @@ mod tests {
     #[test]
     fn bounds_and_density() {
         let mut h = Histogram::new(0.0, 8.0, 4);
-        assert_eq!(h.bin_bounds(0), (0.0, 2.0));
-        assert_eq!(h.bin_bounds(3), (6.0, 8.0));
+        assert_eq!(h.bin_bounds(0), Some((0.0, 2.0)));
+        assert_eq!(h.bin_bounds(3), Some((6.0, 8.0)));
+        assert_eq!(h.bin_bounds(4), None, "past the last bin");
+        assert_eq!(h.bin_bounds(usize::MAX), None);
         for x in [1.0, 1.5, 3.0, 7.0] {
             h.record(x);
         }

@@ -10,10 +10,19 @@
 use serde::{Deserialize, Serialize};
 
 /// A collected sample set with quantile queries.
+///
+/// Sorting is cached: the samples are sorted at most once per batch of
+/// pushes, on the first quantile query, and every further query reuses
+/// the sorted order until the next [`Percentiles::push`] re-dirties it.
+/// Query-heavy report code (many percentiles off one sample set) costs
+/// one sort, not one per call.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Percentiles {
     sorted: Vec<f64>,
     dirty: bool,
+    /// Diagnostic: how many times the sample buffer was actually
+    /// sorted. Lets tests pin the caching contract.
+    sorts: u64,
 }
 
 impl Percentiles {
@@ -47,7 +56,15 @@ impl Percentiles {
         if self.dirty {
             self.sorted.sort_by(|a, b| a.total_cmp(b));
             self.dirty = false;
+            self.sorts += 1;
         }
+    }
+
+    /// How many times the sample buffer has been sorted — the cache's
+    /// observable: repeated quantile queries between pushes must not
+    /// increase it.
+    pub fn sorts_performed(&self) -> u64 {
+        self.sorts
     }
 
     /// The `q`-quantile (`q ∈ [0, 1]`) with linear interpolation.
@@ -130,5 +147,25 @@ mod tests {
     fn out_of_range_quantile_rejected() {
         let mut p = Percentiles::from_samples([1.0]);
         let _ = p.quantile(1.5);
+    }
+
+    #[test]
+    fn repeated_queries_sort_once() {
+        // Regression: quantile() used to re-sort on every call; the
+        // sorted order is now cached and invalidated only by push().
+        let mut p = Percentiles::from_samples((0..1000).map(|i| ((i * 7919) % 1000) as f64));
+        assert_eq!(p.sorts_performed(), 0, "pushes alone never sort");
+        let median = p.median();
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let _ = p.quantile(q);
+        }
+        assert_eq!(p.sorts_performed(), 1, "one sort serves every query");
+        assert_eq!(p.median(), median, "cached order answers identically");
+        // A push re-dirties: exactly one more sort on the next query.
+        p.push(-1.0);
+        assert_eq!(p.sorts_performed(), 1, "push itself does not sort");
+        assert_eq!(p.quantile(0.0), Some(-1.0));
+        let _ = p.p95();
+        assert_eq!(p.sorts_performed(), 2);
     }
 }

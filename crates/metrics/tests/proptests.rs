@@ -68,10 +68,11 @@ proptest! {
         let (under, over) = h.out_of_range();
         let in_bins: u64 = h.counts().iter().sum();
         prop_assert_eq!(in_bins + under + over, xs.len() as u64);
-        // Bin bounds tile the range.
-        let (first_lo, _) = h.bin_bounds(0);
-        let (_, last_hi) = h.bin_bounds(bins - 1);
+        // Bin bounds tile the range; past-the-end has no bounds.
+        let (first_lo, _) = h.bin_bounds(0).expect("bin 0 exists");
+        let (_, last_hi) = h.bin_bounds(bins - 1).expect("last bin exists");
         prop_assert!((first_lo - -5.0).abs() < 1e-12);
         prop_assert!((last_hi - 5.0).abs() < 1e-9);
+        prop_assert_eq!(h.bin_bounds(bins), None);
     }
 }

@@ -17,10 +17,13 @@
 //! The resolver also tallies [`Counters`] so experiments can attribute
 //! losses (Fig. 4's message accounting and the collision ablations).
 
+use std::time::Instant;
+
 use ffd2d_parallel::{sharded_for_each, Parallelism};
 use ffd2d_sim::counters::Counters;
 use ffd2d_sim::deployment::DeviceId;
 use ffd2d_sim::time::Slot;
+use ffd2d_telemetry::{NullRecorder, Recorder};
 use ffd2d_trace::{BufferSink, NullSink, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 
@@ -137,6 +140,9 @@ struct RxShard {
     counters: Counters,
     reports: Vec<DeliveryReport>,
     events: BufferSink,
+    /// Wall-clock spent in this shard's decode loop; written only when
+    /// a telemetry recorder is enabled, read after the scope joins.
+    busy_ns: u64,
 }
 
 impl Medium {
@@ -188,6 +194,35 @@ impl Medium {
         counters: &mut Counters,
         sink: &mut S,
     ) -> Vec<DeliveryReport> {
+        self.resolve_instrumented(
+            channel,
+            slot,
+            transmissions,
+            receivers,
+            counters,
+            sink,
+            &mut NullRecorder,
+        )
+    }
+
+    /// [`Medium::resolve_traced`] plus a telemetry [`Recorder`]: the
+    /// resolver times itself, counts work (transmissions, tx×rx pairs,
+    /// workers) and reports per-shard busy time so load imbalance is
+    /// visible. Telemetry reads the clock but never the channel or any
+    /// RNG, so reports, counters and trace bytes are bit-identical
+    /// whatever recorder is attached; a [`NullRecorder`] compiles every
+    /// site out, leaving exactly the untraced resolver.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resolve_instrumented<S: TraceSink, R: Recorder>(
+        &self,
+        channel: &Channel<'_>,
+        slot: Slot,
+        transmissions: &[Transmission],
+        receivers: &[DeviceId],
+        counters: &mut Counters,
+        sink: &mut S,
+        rec: &mut R,
+    ) -> Vec<DeliveryReport> {
         if transmissions.is_empty() {
             // Nothing on the air: every report is empty, no counter
             // moves and no channel sample is drawn. The early-out turns
@@ -197,6 +232,7 @@ impl Medium {
             // idle slots.
             return vec![DeliveryReport::default(); receivers.len()];
         }
+        let t_resolve = rec.start();
         // Tally transmissions by codec.
         for tx in transmissions {
             match tx.codec() {
@@ -236,6 +272,11 @@ impl Medium {
             let mut shards: Vec<RxShard> = Vec::new();
             shards.resize_with(workers, RxShard::default);
             sharded_for_each(receivers, &mut shards, |_, chunk, shard| {
+                let t0 = if R::ENABLED {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
                 if S::ENABLED {
                     self.resolve_receivers(
                         channel,
@@ -255,6 +296,9 @@ impl Medium {
                         &mut NullSink,
                     );
                 }
+                if let Some(t0) = t0 {
+                    shard.busy_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                }
             });
             let mut below = 0u64;
             for shard in &mut shards {
@@ -265,6 +309,21 @@ impl Medium {
                     shard.events.flush_into(sink);
                 }
             }
+            if R::ENABLED {
+                let mut busy_sum = 0u64;
+                let mut busy_max = 0u64;
+                for shard in &shards {
+                    rec.record_ns("medium.shard_busy_ns", shard.busy_ns);
+                    busy_sum = busy_sum.saturating_add(shard.busy_ns);
+                    busy_max = busy_max.max(shard.busy_ns);
+                }
+                if busy_sum > 0 {
+                    // Peak-to-mean shard busy time, in percent (100 =
+                    // perfectly balanced).
+                    let mean = (busy_sum / workers as u64).max(1);
+                    rec.observe("medium.shard_imbalance_pct", busy_max * 100 / mean);
+                }
+            }
             below
         };
 
@@ -273,6 +332,16 @@ impl Medium {
                 slot: slot.0,
                 count: below_threshold,
             });
+        }
+        if R::ENABLED {
+            rec.add("medium.slots_resolved", 1);
+            rec.add("medium.transmissions", transmissions.len() as u64);
+            rec.observe(
+                "medium.pairs_per_slot",
+                transmissions.len() as u64 * receivers.len() as u64,
+            );
+            rec.observe("medium.workers_per_slot", workers as u64);
+            rec.stop("medium.resolve_ns", t_resolve);
         }
         reports
     }

@@ -1,0 +1,257 @@
+//! Log-bucketed `u64` histograms.
+//!
+//! Timings span six orders of magnitude (a warped-past idle gap costs
+//! tens of nanoseconds; a 5000-device slot resolution costs
+//! milliseconds), so uniform bins are useless and exact samples are too
+//! heavy for a per-slot hot path. [`LogHistogram`] buckets by
+//! power-of-two magnitude: recording is an `ilog2` plus one increment,
+//! the memory footprint is a fixed 65-slot array, and quantiles come
+//! back with ≤2× relative error — plenty for "where did the wall clock
+//! go" questions.
+
+/// Number of buckets: one for zero plus one per `u64` bit.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 holds exactly the value `0`; bucket `i ≥ 1` holds
+/// `[2^(i-1), 2^i - 1]` (the last bucket tops out at `u64::MAX`). Every
+/// representable `u64` lands in a bucket, so there is no overflow or
+/// underflow path. Counts and the running sum saturate rather than
+/// wrap, and [`LogHistogram::merge`] saturates too, so shard-local
+/// histograms can be folded together without overflow concerns.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index `value` lands in.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            value.ilog2() as usize + 1
+        }
+    }
+
+    /// Inclusive `[lo, hi]` range of bucket `i`; `None` for `i ≥ 65`.
+    pub fn bucket_bounds(i: usize) -> Option<(u64, u64)> {
+        match i {
+            0 => Some((0, 0)),
+            1..=63 => Some((1 << (i - 1), (1 << i) - 1)),
+            64 => Some((1 << 63, u64::MAX)),
+            _ => None,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let b = Self::bucket_index(value);
+        self.buckets[b] = self.buckets[b].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all samples (`None` when empty; saturated at the sum).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Raw bucket counts (index via [`LogHistogram::bucket_bounds`]).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Estimated `q`-quantile (`q ∈ [0, 1]`): the upper bound of the
+    /// bucket containing the target rank, clamped to the observed
+    /// `[min, max]`. `None` when empty. Relative error is bounded by
+    /// the bucket width (≤2×).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return None;
+        }
+        if q == 0.0 {
+            return Some(self.min);
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= target {
+                let (_, hi) = Self::bucket_bounds(i).expect("i < BUCKETS");
+                return Some(hi.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merge another histogram into this one (saturating per bucket and
+    /// on count/sum) — the shard-fold operation.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_land_where_documented() {
+        // Zero has its own bucket.
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        // Powers of two open a new bucket; one-less stays below.
+        for k in 1..=63u32 {
+            let p = 1u64 << k;
+            assert_eq!(LogHistogram::bucket_index(p), k as usize + 1, "2^{k}");
+            assert_eq!(LogHistogram::bucket_index(p - 1), k as usize, "2^{k}-1");
+            assert_eq!(LogHistogram::bucket_index(p + 1), k as usize + 1, "2^{k}+1");
+        }
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_u64_range() {
+        let mut expected_lo = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = LogHistogram::bucket_bounds(i).unwrap();
+            assert_eq!(
+                lo, expected_lo,
+                "bucket {i} starts where the previous ended"
+            );
+            assert!(hi >= lo);
+            // Each value in [lo, hi] maps back to bucket i.
+            assert_eq!(LogHistogram::bucket_index(lo), i);
+            assert_eq!(LogHistogram::bucket_index(hi), i);
+            expected_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(expected_lo, 0, "last bucket ends at u64::MAX");
+        assert_eq!(LogHistogram::bucket_bounds(BUCKETS), None);
+    }
+
+    #[test]
+    fn stats_track_min_max_sum() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        for v in [3, 900, 0, 17] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 920);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(900));
+        assert!((h.mean().unwrap() - 230.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_accurate_and_clamped() {
+        let mut h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket [64, 127]
+        }
+        h.record(1_000_000); // bucket [2^19, 2^20-1]
+                             // p50 falls in the 100s bucket: upper bound 127, within 2x.
+        assert_eq!(h.quantile(0.5), Some(127));
+        // p100 clamps to the observed max, not the bucket's 2^20-1.
+        assert_eq!(h.quantile(1.0), Some(1_000_000));
+        // p0 clamps up to the observed min.
+        assert_eq!(h.quantile(0.0), Some(100));
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(u64::MAX);
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.sum(), u64::MAX, "sum saturates");
+        assert_eq!(a.count(), 2);
+        let mut c = LogHistogram::new();
+        c.count = u64::MAX;
+        c.buckets[5] = u64::MAX;
+        a.merge(&c);
+        a.merge(&c);
+        assert_eq!(a.count(), u64::MAX, "count saturates");
+        assert_eq!(a.buckets()[5], u64::MAX, "bucket counts saturate");
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        // Sharded recording (half the samples per shard, then merge)
+        // must equal recording everything into one histogram.
+        let samples: Vec<u64> = (0..200u64).map(|i| i * i * 37 % 100_000).collect();
+        let mut whole = LogHistogram::new();
+        let mut left = LogHistogram::new();
+        let mut right = LogHistogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(s);
+            if i % 2 == 0 {
+                left.record(s);
+            } else {
+                right.record(s);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.buckets(), whole.buckets());
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.sum(), whole.sum());
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+}

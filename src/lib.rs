@@ -25,6 +25,9 @@
 //!   Figs. 3 and 4.
 //! * [`metrics`], [`parallel`], [`experiments`] — statistics, parallel
 //!   Monte-Carlo harness, and reproductions of every figure/table.
+//! * [`trace`], [`telemetry`] — zero-cost-off observability: protocol
+//!   event tracing and runtime performance telemetry (self-profiling
+//!   engines, run manifests).
 //!
 //! ## Quickstart
 //!
@@ -55,4 +58,5 @@ pub use ffd2d_parallel as parallel;
 pub use ffd2d_phy as phy;
 pub use ffd2d_radio as radio;
 pub use ffd2d_sim as sim;
+pub use ffd2d_telemetry as telemetry;
 pub use ffd2d_trace as trace;
