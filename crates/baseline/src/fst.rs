@@ -228,11 +228,13 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
     /// coupling re-entrains it without any protocol machinery.
     fn apply_churn(&mut self, slot: Slot) {
         let n = self.devices.len();
+        let mut any = false;
         while self.next_churn < self.churn_events.len()
             && self.churn_events[self.next_churn].slot <= slot.0
         {
             let ev = self.churn_events[self.next_churn];
             self.next_churn += 1;
+            any = true;
             self.rec.add("chaos.churn_events", 1);
             let d = ev.device as usize;
             match ev.kind {
@@ -266,6 +268,11 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
                     }
                 }
             }
+        }
+        if any {
+            // Population changed: advance the medium's churn generation
+            // so its epoch-keyed link-state cache flushes next resolve.
+            self.medium.note_churn();
         }
     }
 

@@ -49,6 +49,8 @@ pub mod world;
 
 pub use discovery::NeighborTable;
 pub use outcome::RunOutcome;
-pub use scenario::{EngineMode, FaultPlan, Parallelism, ProtocolConfig, ScenarioConfig};
+pub use scenario::{
+    EngineMode, FaultPlan, GainCacheMode, Parallelism, ProtocolConfig, ScenarioConfig,
+};
 pub use st_protocol::StProtocol;
 pub use world::World;

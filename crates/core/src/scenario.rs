@@ -110,6 +110,37 @@ impl EngineMode {
     }
 }
 
+/// Link-state caching strategy for the fast medium.
+///
+/// Both modes produce **bit-identical** outcomes (locked down by
+/// `tests/gain_cache.rs`): mean link gains are pure functions of device
+/// positions, fading remains the only per-slot keyed draw, and the
+/// cache is flushed whenever the world's mobility epoch or the
+/// engine's churn generation moves — so the choice is purely about
+/// wall clock (and memory: the cache holds one `f64` per cached
+/// directed (sender, cell-occupant) pair).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GainCacheMode {
+    /// Memoise mean link gains per (sender, grid cell) row, keyed by
+    /// the mobility epoch, reused across every slot of the epoch.
+    #[default]
+    Epoch,
+    /// Recompute path loss + shadowing for every candidate pair, every
+    /// slot (the reference behaviour; benches use it as the baseline).
+    Off,
+}
+
+impl GainCacheMode {
+    /// Parse a `--gain-cache` flag value (`epoch` / `off`).
+    pub fn from_flag(flag: &str) -> Option<GainCacheMode> {
+        match flag {
+            "epoch" | "on" => Some(GainCacheMode::Epoch),
+            "off" => Some(GainCacheMode::Off),
+            _ => None,
+        }
+    }
+}
+
 /// A complete experiment scenario.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ScenarioConfig {
@@ -131,6 +162,9 @@ pub struct ScenarioConfig {
     /// default — and then provably outcome-neutral, locked by
     /// `tests/chaos.rs`).
     pub faults: FaultPlan,
+    /// Link-state caching strategy for the fast medium
+    /// (outcome-neutral; see [`GainCacheMode`]). `Epoch` by default.
+    pub gain_cache: GainCacheMode,
 }
 
 impl ScenarioConfig {
@@ -145,6 +179,7 @@ impl ScenarioConfig {
             engine: EngineMode::default(),
             parallelism: Parallelism::default(),
             faults: FaultPlan::none(),
+            gain_cache: GainCacheMode::default(),
         }
     }
 
@@ -195,6 +230,13 @@ impl ScenarioConfig {
     /// Builder: attach a fault-injection / churn schedule.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Builder: select the fast medium's link-state caching strategy
+    /// (outcome neutral; see [`GainCacheMode`]).
+    pub fn with_gain_cache(mut self, mode: GainCacheMode) -> Self {
+        self.gain_cache = mode;
         self
     }
 
@@ -278,6 +320,20 @@ mod tests {
         assert_eq!(c.parallelism, Parallelism::Fixed(4));
         assert!(c.validate().is_ok());
         assert_eq!(Parallelism::from_flag("auto"), Some(Parallelism::Auto));
+    }
+
+    #[test]
+    fn gain_cache_defaults_to_epoch() {
+        assert_eq!(ScenarioConfig::table1(10).gain_cache, GainCacheMode::Epoch);
+        let c = ScenarioConfig::table1(10).with_gain_cache(GainCacheMode::Off);
+        assert_eq!(c.gain_cache, GainCacheMode::Off);
+        assert!(c.validate().is_ok());
+        assert_eq!(
+            GainCacheMode::from_flag("epoch"),
+            Some(GainCacheMode::Epoch)
+        );
+        assert_eq!(GainCacheMode::from_flag("off"), Some(GainCacheMode::Off));
+        assert_eq!(GainCacheMode::from_flag("bogus"), None);
     }
 
     #[test]

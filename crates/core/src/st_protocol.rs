@@ -1270,6 +1270,9 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
             }
         }
         if any {
+            // Population changed: advance the medium's churn generation
+            // so its epoch-keyed link-state cache flushes next resolve.
+            self.medium.note_churn();
             self.reopen_merging(slot);
         }
     }

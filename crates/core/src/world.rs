@@ -26,9 +26,20 @@
 //!    cell. Pairs outside the disc are *provably* inaudible, so —
 //!    unlike a statistical fade margin — pruning changes no decode
 //!    decision, for any seed.
-//! 2. **Lazy link gains.** There is no `n × n` gain matrix: mean link
-//!    powers are computed on demand and memoised in a bounded
-//!    per-device LRU of hot links, so memory stays O(n) at any scale.
+//! 2. **Epoch-keyed link-state cache.** There is no up-front `n × n`
+//!    gain matrix: mean link powers (path loss + shadowing) are pure
+//!    functions of device positions, so they are computed **once per
+//!    mobility epoch** by a batched kernel — one row per (sender, grid
+//!    cell), aligned with the cell's occupant list — and reused across
+//!    every subsequent slot of the epoch. Fading remains the only
+//!    per-slot keyed draw, so caching is provably bit-identical: no RNG
+//!    stream is touched. The cache is flushed when
+//!    [`World::mobility_epoch`] moves (re-bucketing) or the engine
+//!    reports churn ([`FastMedium::note_churn`]). Memory is one `f64`
+//!    per cached directed (sender, cell-occupant) pair — proportional
+//!    to the audible-pair count actually exercised, not `n²` of the
+//!    whole arena (they coincide only when every device is audible to
+//!    every other and every device transmits).
 //! 3. **Epoch-stamped accumulators.** Per-(receiver, codec) collision
 //!    state is slot-stamped, so a slot costs O(candidates) with zero
 //!    allocation, and delivery order is fixed by sorting touched keys.
@@ -40,6 +51,7 @@
 //! the reference resolver is pinned by tests in this module and by the
 //! `medium_equivalence` integration harness.
 
+use std::collections::HashMap;
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -63,7 +75,7 @@ use ffd2d_sim::time::Slot;
 use ffd2d_telemetry::{NullRecorder, Recorder};
 use ffd2d_trace::{NullSink, TraceEvent, TraceSink};
 
-use crate::scenario::ScenarioConfig;
+use crate::scenario::{GainCacheMode, ScenarioConfig};
 
 /// Floor on the grid cell side relative to the arena: at most 256×256
 /// cells, so degenerate configurations (tiny radius in a huge arena)
@@ -101,9 +113,6 @@ pub struct World {
     /// Worst-case *mean*-link radius (shadowing only) — the proximity
     /// graph's candidate radius.
     mean_link_range_m: f64,
-    /// Bumped by every re-bucketing; media drop their link caches when
-    /// it moves.
-    version: u64,
 }
 
 impl World {
@@ -145,7 +154,6 @@ impl World {
             fade_headroom_db: cfg.channel.fade_headroom_db(),
             audible_range_m,
             mean_link_range_m,
-            version: 0,
             cfg: cfg.clone(),
         }
     }
@@ -249,6 +257,25 @@ impl World {
         (self.tx_power - self.pathloss.loss(d) + self.shadowing.sample(a, b)).get()
     }
 
+    /// Batched [`World::mean_rx_dbm`]: append the mean link gain
+    /// `sender → r` for every `r` in `receivers` to `out`, in order, in
+    /// one pass over positions. Delegates to the radio layer's
+    /// [`ffd2d_radio::channel::fill_mean_rx_dbm`] kernel — the same
+    /// code path [`Channel::mean_rx_power_batch`] uses — so element `j`
+    /// is bit-identical to `mean_rx_dbm(sender, receivers[j])`,
+    /// including the `NEG_INFINITY` self-pair sentinel.
+    pub fn fill_mean_rx_dbm(&self, sender: DeviceId, receivers: &[DeviceId], out: &mut Vec<f64>) {
+        ffd2d_radio::channel::fill_mean_rx_dbm(
+            &self.deployment,
+            self.tx_power,
+            self.pathloss,
+            &self.shadowing,
+            sender,
+            receivers,
+            out,
+        );
+    }
+
     /// Instantaneous received power (mean + block fading) in dBm.
     #[inline]
     pub fn rx_dbm(&self, a: DeviceId, b: DeviceId, slot: Slot) -> f64 {
@@ -275,17 +302,22 @@ impl World {
         )
     }
 
-    /// Monotone re-bucketing counter: attached media invalidate their
-    /// link caches when this moves.
+    /// Monotone mobility epoch: advances exactly when device positions
+    /// are (re-)bucketed into the spatial grid — at construction and on
+    /// every [`World::update_positions`]. Attached media key their
+    /// link-state caches on this value: mean link gains are pure
+    /// functions of positions, so entries are valid for precisely as
+    /// long as the epoch stands still.
     #[inline]
-    pub fn version(&self) -> u64 {
-        self.version
+    pub fn mobility_epoch(&self) -> u64 {
+        self.grid.generation()
     }
 
     /// Move every device (e.g. to a `MobilityField` snapshot): clamps
-    /// into the arena, re-buckets the spatial grid in O(n), drops the
-    /// lazily-built proximity graph and bumps [`World::version`] so
-    /// attached [`FastMedium`]s discard their memoised link gains.
+    /// into the arena, re-buckets the spatial grid in O(n) (which
+    /// advances [`World::mobility_epoch`], so attached [`FastMedium`]s
+    /// discard their cached link state) and drops the lazily-built
+    /// proximity graph.
     ///
     /// The shadowing field is positional only through the path loss (a
     /// per-link draw, the standard correlated-shadowing simplification),
@@ -295,12 +327,48 @@ impl World {
         self.deployment.set_positions(positions);
         self.grid.rebucket(&self.deployment.coords());
         self.graph = OnceLock::new();
-        self.version += 1;
     }
 }
 
-/// Associativity of the per-device link-gain LRU in [`FastMedium`].
-const LINK_CACHE_WAYS: usize = 8;
+/// Mobility-epoch-keyed link-state cache: one row of mean link gains
+/// (dBm) per `(sender, grid cell)`, aligned element-for-element with
+/// `SpatialGrid::cell_items(cell)` so the accumulation inner loop reads
+/// `row[j]` by the receiver's position in its cell — no per-pair hashing
+/// or probing. Rows are filled by the batched kernel
+/// ([`World::fill_mean_rx_dbm`]) the first time a sender's disc touches
+/// a cell within an epoch, then reused by every later slot; the whole
+/// store is flushed when the validity key (mobility epoch, churn
+/// generation) moves. Values are pure functions of positions, so a
+/// cached read is bit-identical to recomputation by construction.
+#[derive(Debug, Default)]
+struct GainCache {
+    /// `(World::mobility_epoch, FastMedium::churn_gen)` the entries are
+    /// valid for. `(0, _)` never matches a live world (its first
+    /// bucketing already advanced the epoch to 1), so a fresh cache
+    /// syncs on first use.
+    valid_for: (u64, u64),
+    /// `(sender << 32) | cell` → index into `rows`. Lookup-only (never
+    /// iterated), so map order cannot leak into results.
+    index: HashMap<u64, u32>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl GainCache {
+    /// Flush every entry and stamp the store valid for `key`.
+    fn reset(&mut self, key: (u64, u64)) {
+        self.valid_for = key;
+        self.index.clear();
+        self.rows.clear();
+    }
+}
+
+/// Where an accumulation row lives: the shared epoch cache (read-only
+/// under sharding) or the shard's private fills from this slot.
+#[derive(Clone, Copy)]
+enum RowRef {
+    Shared(u32),
+    Local(u32),
+}
 
 /// Epoch-stamped slot resolver with the same semantics as
 /// [`ffd2d_phy::Medium`]: per receiver and codec, a lone above-threshold
@@ -308,8 +376,9 @@ const LINK_CACHE_WAYS: usize = 8;
 /// runner-up by the capture margin; transmitters are half-duplex deaf.
 ///
 /// A `FastMedium` is bound to the [`World`] it first resolves against:
-/// its memoised link gains are keyed by device ids and invalidated via
-/// [`World::version`]. Do not share one across worlds.
+/// its cached link state is keyed by device ids and grid cells and
+/// invalidated via [`World::mobility_epoch`]. Do not share one across
+/// worlds.
 ///
 /// ## Intra-run parallelism
 ///
@@ -340,15 +409,21 @@ pub struct FastMedium {
     /// `(key, shard)` pairs gathered per slot for globally-ordered
     /// delivery (allocation reused).
     delivery: Vec<(u32, u32)>,
-    /// `world.version() + 1` the link caches are valid for (0 = none).
-    cache_world_version: u64,
+    /// Shared epoch-keyed link-state cache (see [`GainCache`]): shards
+    /// read it concurrently, publish their fills after the join.
+    gains: GainCache,
+    /// Engine-reported churn generation ([`FastMedium::note_churn`]):
+    /// part of the cache validity key.
+    churn_gen: u64,
 }
 
 /// One shard's private accumulation state, persistent across slots:
-/// epoch-stamped per-`(receiver, codec)` collision accumulators plus a
-/// per-receiver LRU of memoised mean link gains. Each shard owns its
-/// LRU outright (hits, victims and the logical clock stay private), so
-/// workers never contend — and the sequential path is just shard 0.
+/// epoch-stamped per-`(receiver, codec)` collision accumulators plus the
+/// shard's gain-cache fills from the current slot. Shards read the
+/// shared [`GainCache`] concurrently but never write it — rows missing
+/// from it are computed into `fill_rows` and published into the shared
+/// store after the join, in shard order, so workers never contend — and
+/// the sequential path is just shard 0.
 #[derive(Debug, Clone)]
 struct ShardScratch {
     /// Per `(receiver, codec)` accumulator epoch (slot-stamped).
@@ -358,22 +433,26 @@ struct ShardScratch {
     best_tx: Vec<u32>,
     count: Vec<u32>,
     touched: Vec<u32>,
-    /// Per-receiver LRU of mean link gains: `LINK_CACHE_WAYS` ways per
-    /// device. `u32::MAX` marks an empty way.
-    cache_peer: Vec<u32>,
-    cache_mean: Vec<f64>,
-    cache_used: Vec<u64>,
-    tick: u64,
+    /// Gain-cache keys this shard filled this slot (drained into the
+    /// shared store after the join).
+    fill_keys: Vec<u64>,
+    /// The filled rows, parallel to `fill_keys`.
+    fill_rows: Vec<Vec<f64>>,
+    /// Per-slot dedup of local fills (the same sender can post two
+    /// transmissions into one cell in one slot). Cleared on publish.
+    fill_index: HashMap<u64, u32>,
     /// Above-threshold (detected) pairs seen this slot.
     detected: u64,
     // --- Telemetry (written only when the resolving recorder is
     // enabled; the disabled path never touches these) ---
     /// Wall-clock nanoseconds this shard spent accumulating this slot.
     busy_ns: u64,
-    /// Link-gain LRU hits this slot.
-    lru_hits: u64,
-    /// Link-gain LRU misses (full `mean_rx_dbm` recomputations).
-    lru_misses: u64,
+    /// Rows served from the shared epoch cache this slot.
+    rows_hit: u64,
+    /// Rows this shard had to fill this slot (batched-kernel runs).
+    rows_filled: u64,
+    /// Wall-clock nanoseconds spent inside the fill kernel this slot.
+    fill_ns: u64,
 }
 
 /// Read-only per-slot inputs shared by every accumulation shard.
@@ -395,6 +474,11 @@ struct SlotCtx<'a> {
     /// Per-transmission power droop in dB (fault injection); `None`
     /// when no droop window is open this slot.
     droop: Option<&'a [f64]>,
+    /// The shared epoch-keyed gain cache, read-only during
+    /// accumulation; `None` disables caching
+    /// ([`crate::GainCacheMode::Off`]) and means are recomputed
+    /// per pair.
+    gains: Option<&'a GainCache>,
 }
 
 impl ShardScratch {
@@ -406,63 +490,79 @@ impl ShardScratch {
             best_tx: vec![0; n * 2],
             count: vec![0; n * 2],
             touched: Vec::with_capacity(64),
-            cache_peer: vec![u32::MAX; n * LINK_CACHE_WAYS],
-            cache_mean: vec![f64::NEG_INFINITY; n * LINK_CACHE_WAYS],
-            cache_used: vec![0; n * LINK_CACHE_WAYS],
-            tick: 0,
+            fill_keys: Vec::new(),
+            fill_rows: Vec::new(),
+            fill_index: HashMap::new(),
             detected: 0,
             busy_ns: 0,
-            lru_hits: 0,
-            lru_misses: 0,
+            rows_hit: 0,
+            rows_filled: 0,
+            fill_ns: 0,
         }
     }
 
-    /// Invalidate every memoised link gain (the world re-bucketed).
-    fn drop_link_cache(&mut self) {
-        self.cache_peer.iter_mut().for_each(|p| *p = u32::MAX);
-    }
-
-    /// Mean link gain `sender → receiver` through the per-receiver LRU.
-    /// `TELEM` additionally tallies hit/miss counts; `false` compiles
-    /// to the bare lookup.
+    /// Admit one candidate pair given its mean link gain: floor prune,
+    /// fading draw, droop, threshold test, then the per-key
+    /// best/second/count accumulation. Shared verbatim by the cached
+    /// and direct paths, so the two cannot drift.
     #[inline]
-    fn mean_cached<const TELEM: bool>(
-        &mut self,
-        world: &World,
-        sender: DeviceId,
-        receiver: DeviceId,
-    ) -> f64 {
-        let base = receiver as usize * LINK_CACHE_WAYS;
-        self.tick += 1;
-        let mut victim = base;
-        for way in base..base + LINK_CACHE_WAYS {
-            if self.cache_peer[way] == sender {
-                self.cache_used[way] = self.tick;
-                if TELEM {
-                    self.lru_hits += 1;
-                }
-                return self.cache_mean[way];
-            }
-            if self.cache_used[way] < self.cache_used[victim] {
-                victim = way;
-            }
+    fn admit(&mut self, ctx: &SlotCtx<'_>, ti: u32, r: DeviceId, mean: f64) {
+        if mean < ctx.mean_floor {
+            // Provably below threshold for any fading draw; tallied by
+            // the closed-form reconstruction. Droops only weaken a
+            // signal further, so the prune stays conservative under
+            // fault plans.
+            return;
         }
-        if TELEM {
-            self.lru_misses += 1;
+        let tx = &ctx.transmissions[ti as usize];
+        let mut p = mean
+            + ctx
+                .world
+                .fading
+                .gain(ctx.world.fading_seed, tx.sender, r, ctx.slot)
+                .get();
+        if let Some(droop) = ctx.droop {
+            p -= droop[ti as usize];
         }
-        let mean = world.mean_rx_dbm(sender, receiver);
-        self.cache_peer[victim] = sender;
-        self.cache_mean[victim] = mean;
-        self.cache_used[victim] = self.tick;
-        mean
+        if p < ctx.threshold {
+            return;
+        }
+        self.detected += 1;
+        let k = r as usize * 2 + FastMedium::codec_index(tx.codec());
+        if self.stamp[k] != ctx.epoch {
+            self.stamp[k] = ctx.epoch;
+            self.best[k] = f64::NEG_INFINITY;
+            self.second[k] = f64::NEG_INFINITY;
+            self.count[k] = 0;
+            self.touched.push(k as u32);
+        }
+        self.count[k] += 1;
+        if p > self.best[k] {
+            self.second[k] = self.best[k];
+            self.best[k] = p;
+            self.best_tx[k] = ti;
+        } else if p > self.second[k] {
+            self.second[k] = p;
+        }
     }
 
-    /// Accumulate one contiguous chunk of touched cells: cells in the
-    /// given (ascending) order, receivers ascending within a cell,
-    /// transmissions in submission order — the sequential loop's exact
-    /// visit order, so the per-key results cannot depend on how cells
-    /// were chunked across shards.
+    /// Accumulate one contiguous chunk of touched cells. Dispatches on
+    /// the world's caching mode; both paths produce bit-identical
+    /// per-key state (locked by `tests/gain_cache.rs`): for any one
+    /// `(receiver, codec)` key the transmissions are visited in
+    /// submission order either way, and `admit` is order-insensitive
+    /// across keys.
     fn accumulate<const TELEM: bool>(&mut self, ctx: &SlotCtx<'_>, cells: &[u32]) {
+        match ctx.gains {
+            Some(gains) => self.accumulate_cached::<TELEM>(ctx, gains, cells),
+            None => self.accumulate_direct(ctx, cells),
+        }
+    }
+
+    /// Uncached accumulation: recompute the mean gain per candidate
+    /// pair. Receivers ascending within a cell, transmissions in
+    /// submission order — the original sequential visit order.
+    fn accumulate_direct(&mut self, ctx: &SlotCtx<'_>, cells: &[u32]) {
         for &cell in cells {
             let cell = cell as usize;
             let txs_here = &ctx.cell_txs[cell];
@@ -476,44 +576,72 @@ impl ShardScratch {
                     }
                 }
                 for &ti in txs_here {
-                    let tx = &ctx.transmissions[ti as usize];
-                    let mean = self.mean_cached::<TELEM>(ctx.world, tx.sender, r);
-                    if mean < ctx.mean_floor {
-                        // Provably below threshold for any fading draw;
-                        // tallied by the closed-form reconstruction.
-                        // Droops only weaken a signal further, so the
-                        // prune stays conservative under fault plans.
-                        continue;
+                    let sender = ctx.transmissions[ti as usize].sender;
+                    let mean = ctx.world.mean_rx_dbm(sender, r);
+                    self.admit(ctx, ti, r, mean);
+                }
+            }
+        }
+    }
+
+    /// Cached accumulation: per transmission, resolve the `(sender,
+    /// cell)` row — shared cache first, then this slot's local fills,
+    /// else run the batched kernel once for the whole cell — and sweep
+    /// the cell's receivers reading `row[j]` by occupant index. The
+    /// tx-outer sweep visits each `(receiver, codec)` key's
+    /// transmissions in the same submission order as the
+    /// receiver-outer direct loop, so accumulated state is identical.
+    fn accumulate_cached<const TELEM: bool>(
+        &mut self,
+        ctx: &SlotCtx<'_>,
+        gains: &GainCache,
+        cells: &[u32],
+    ) {
+        for &cell in cells {
+            let cell = cell as usize;
+            let txs_here = &ctx.cell_txs[cell];
+            if txs_here.is_empty() {
+                continue;
+            }
+            let items = ctx.world.grid.cell_items(cell);
+            for &ti in txs_here {
+                let sender = ctx.transmissions[ti as usize].sender;
+                let key = ((sender as u64) << 32) | cell as u64;
+                let row = if let Some(&i) = gains.index.get(&key) {
+                    if TELEM {
+                        self.rows_hit += 1;
                     }
-                    let mut p = mean
-                        + ctx
-                            .world
-                            .fading
-                            .gain(ctx.world.fading_seed, tx.sender, r, ctx.slot)
-                            .get();
-                    if let Some(droop) = ctx.droop {
-                        p -= droop[ti as usize];
+                    RowRef::Shared(i)
+                } else if let Some(&i) = self.fill_index.get(&key) {
+                    RowRef::Local(i)
+                } else {
+                    let t0 = TELEM.then(Instant::now);
+                    let mut filled = Vec::new();
+                    ctx.world.fill_mean_rx_dbm(sender, items, &mut filled);
+                    if let Some(t0) = t0 {
+                        self.rows_filled += 1;
+                        self.fill_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     }
-                    if p < ctx.threshold {
-                        continue;
+                    let i = self.fill_rows.len() as u32;
+                    self.fill_index.insert(key, i);
+                    self.fill_keys.push(key);
+                    self.fill_rows.push(filled);
+                    RowRef::Local(i)
+                };
+                for (j, &r) in items.iter().enumerate() {
+                    if ctx.tx_stamp[r as usize] == ctx.epoch {
+                        continue; // half-duplex: transmitting receivers are deaf
                     }
-                    self.detected += 1;
-                    let k = r as usize * 2 + FastMedium::codec_index(tx.codec());
-                    if self.stamp[k] != ctx.epoch {
-                        self.stamp[k] = ctx.epoch;
-                        self.best[k] = f64::NEG_INFINITY;
-                        self.second[k] = f64::NEG_INFINITY;
-                        self.count[k] = 0;
-                        self.touched.push(k as u32);
+                    if let Some(active) = ctx.active {
+                        if !active[r as usize] {
+                            continue; // departed devices hear nothing
+                        }
                     }
-                    self.count[k] += 1;
-                    if p > self.best[k] {
-                        self.second[k] = self.best[k];
-                        self.best[k] = p;
-                        self.best_tx[k] = ti;
-                    } else if p > self.second[k] {
-                        self.second[k] = p;
-                    }
+                    let mean = match row {
+                        RowRef::Shared(i) => gains.rows[i as usize][j],
+                        RowRef::Local(i) => self.fill_rows[i as usize][j],
+                    };
+                    self.admit(ctx, ti, r, mean);
                 }
             }
         }
@@ -532,8 +660,21 @@ impl FastMedium {
             cell_txs: Vec::new(),
             touched_cells: Vec::new(),
             delivery: Vec::with_capacity(64),
-            cache_world_version: 0,
+            gains: GainCache::default(),
+            churn_gen: 0,
         }
+    }
+
+    /// Record that the driving engine applied churn (join/leave) —
+    /// called by the protocol engines whenever a fault plan's churn
+    /// events take effect. Bumps the churn generation, which is part of
+    /// the link-state cache's validity key, so the next resolve flushes
+    /// and refills it. Positions do not change under churn, so the
+    /// refill is value-identical — the flush trades a provably
+    /// redundant recomputation for an unconditionally honest epoch
+    /// contract ("any population event invalidates the cache").
+    pub fn note_churn(&mut self) {
+        self.churn_gen += 1;
     }
 
     #[inline]
@@ -544,19 +685,18 @@ impl FastMedium {
         }
     }
 
-    /// Size scratch state to `world` and drop the link caches if the
-    /// world re-bucketed since the last slot.
+    /// Size scratch state to `world` and flush the link-state cache if
+    /// its validity key moved: the world re-bucketed (mobility epoch)
+    /// or the engine reported churn since the last slot.
     fn sync_with(&mut self, world: &World) {
         let cells = world.grid.cell_count();
         if self.cell_stamp.len() != cells {
             self.cell_stamp = vec![0; cells];
             self.cell_txs = vec![Vec::new(); cells];
         }
-        if self.cache_world_version != world.version() + 1 {
-            self.cache_world_version = world.version() + 1;
-            for shard in &mut self.shards {
-                shard.drop_link_cache();
-            }
+        let key = (world.mobility_epoch(), self.churn_gen);
+        if self.gains.valid_for != key {
+            self.gains.reset(key);
         }
     }
 
@@ -642,7 +782,8 @@ impl FastMedium {
     /// [`FastMedium::resolve_masked`] with performance telemetry: an
     /// enabled [`Recorder`] gets the slot's resolution wall clock,
     /// candidate-pair count, per-shard busy time (plus a max-over-mean
-    /// imbalance ratio when sharded) and link-LRU hit/miss tallies.
+    /// imbalance ratio when sharded) and epoch-cache row hit/fill
+    /// tallies with the fill kernel's wall clock.
     /// Telemetry is strictly observational — it draws no randomness and
     /// feeds nothing back into resolution, so counters, trace events,
     /// deliveries and their order are bit-identical to an unrecorded
@@ -749,11 +890,13 @@ impl FastMedium {
             shard.touched.clear();
             if R::ENABLED {
                 shard.busy_ns = 0;
-                shard.lru_hits = 0;
-                shard.lru_misses = 0;
+                shard.rows_hit = 0;
+                shard.rows_filled = 0;
+                shard.fill_ns = 0;
             }
         }
 
+        let cached = world.config().gain_cache == GainCacheMode::Epoch;
         let threshold = world.threshold_dbm();
         let mean_floor = threshold - world.fade_headroom_db();
         let ctx = SlotCtx {
@@ -767,6 +910,7 @@ impl FastMedium {
             mean_floor,
             active,
             droop: droops.as_deref(),
+            gains: cached.then_some(&self.gains),
         };
         if R::ENABLED {
             // Timed accumulation: each shard clocks its own busy window
@@ -801,6 +945,26 @@ impl FastMedium {
             }
         }
         self.delivery.sort_unstable();
+
+        // Publish this slot's per-shard fills into the shared gain
+        // cache, in shard order. Fill keys are unique across shards
+        // within a slot (a touched cell is owned by exactly one shard
+        // and local fills dedup per sender), and rows are pure
+        // functions of positions — so the merged store is identical
+        // for any worker count.
+        if cached {
+            for shard in &mut self.shards[..workers] {
+                if shard.fill_keys.is_empty() {
+                    continue;
+                }
+                shard.fill_index.clear();
+                for (key, row) in shard.fill_keys.drain(..).zip(shard.fill_rows.drain(..)) {
+                    let prev = self.gains.index.insert(key, self.gains.rows.len() as u32);
+                    debug_assert!(prev.is_none(), "duplicate gain-cache fill, key {key}");
+                    self.gains.rows.push(row);
+                }
+            }
+        }
 
         // Exact counter reconstruction: the reference walks every
         // (transmission, non-transmitting receiver) pair and counts it
@@ -880,17 +1044,26 @@ impl FastMedium {
             rec.add("medium.transmissions", transmissions.len() as u64);
             rec.observe("medium.pairs_per_slot", pairs);
             rec.observe("medium.workers_per_slot", workers as u64);
-            let (mut hits, mut misses) = (0u64, 0u64);
+            let (mut hits, mut filled) = (0u64, 0u64);
             let (mut busy_max, mut busy_sum) = (0u64, 0u64);
             for shard in &self.shards[..workers] {
-                hits += shard.lru_hits;
-                misses += shard.lru_misses;
+                hits += shard.rows_hit;
+                filled += shard.rows_filled;
                 busy_max = busy_max.max(shard.busy_ns);
                 busy_sum += shard.busy_ns;
                 rec.record_ns("medium.shard_busy_ns", shard.busy_ns);
+                if shard.fill_ns > 0 {
+                    rec.record_ns("medium.gain_fill_ns", shard.fill_ns);
+                }
             }
-            rec.add("medium.lru_hits", hits);
-            rec.add("medium.lru_misses", misses);
+            if cached {
+                // Row granularity: a hit serves a whole (sender, cell)
+                // row from the epoch cache; a miss runs the batched
+                // fill kernel once. Absent entirely under
+                // `GainCacheMode::Off` (perf_inspect renders `n/a`).
+                rec.add("medium.gain_cache_hits", hits);
+                rec.add("medium.gain_cache_misses", filled);
+            }
             if workers > 1 && busy_sum > 0 {
                 // Shard imbalance: slowest shard over the mean, in
                 // percent (100 = perfectly balanced).
@@ -1123,9 +1296,9 @@ mod tests {
             .iter()
             .map(|p| Position::new((p.x + 400.0).min(1000.0), (p.y * 0.5).max(0.0)))
             .collect();
-        let before = w.version();
+        let before = w.mobility_epoch();
         w.update_positions(&moved);
-        assert_eq!(w.version(), before + 1);
+        assert_eq!(w.mobility_epoch(), before + 1);
         assert_media_agree(&w, &mut fast, 1, &[fire(1), fire(17), fire(33)]);
         // The lazily-rebuilt graph reflects the new geometry too.
         let g = w.proximity_graph();
@@ -1179,6 +1352,83 @@ mod tests {
         let auto = run(Parallelism::Auto);
         assert_eq!(auto.0, baseline.0);
         assert_eq!(auto.1, baseline.1);
+    }
+
+    #[test]
+    fn gain_cache_off_is_bit_identical_to_epoch_caching() {
+        // Same seeded world, same transmissions, cache on vs. off:
+        // delivered (receiver, sender, power-bits) triples and counters
+        // must match exactly — across enough slots that the cached arm
+        // actually reuses rows.
+        use crate::GainCacheMode;
+        let base = small_cfg(48, 29);
+        let txs: Vec<ProximitySignal> = (0..8).map(|k| fire(k * 6)).collect();
+        let run = |mode: GainCacheMode| {
+            let cfg = base.clone().with_gain_cache(mode);
+            let w = World::new(&cfg);
+            let mut fast = FastMedium::new(48);
+            let mut counters = Counters::new();
+            let mut delivered: Vec<(u32, u32, u64)> = Vec::new();
+            for slot in 0..20u64 {
+                fast.resolve(&w, Slot(slot), &txs, &mut counters, |r, sig, p| {
+                    delivered.push((r, sig.sender, p.to_bits()))
+                });
+            }
+            (delivered, counters)
+        };
+        let cached = run(GainCacheMode::Epoch);
+        let direct = run(GainCacheMode::Off);
+        assert!(cached.1.rx_ok > 0, "scenario must exercise decodes");
+        assert_eq!(cached.0, direct.0, "deliveries");
+        assert_eq!(cached.1, direct.1, "counters");
+    }
+
+    #[test]
+    fn gain_cache_survives_slots_but_not_position_updates_or_churn() {
+        use ffd2d_telemetry::Telemetry;
+        let mut cfg = small_cfg(40, 13).ideal_channel();
+        cfg.sim.area_width = Meters(1000.0);
+        cfg.sim.area_height = Meters(1000.0);
+        let mut w = World::new(&cfg);
+        let mut fast = FastMedium::new(40);
+        let txs = [fire(2), fire(11), fire(27)];
+        let resolve = |fast: &mut FastMedium, w: &World, slot: u64| {
+            let mut rec = Telemetry::new();
+            let mut counters = Counters::new();
+            fast.resolve_instrumented(
+                w,
+                Slot(slot),
+                &txs,
+                None,
+                &mut counters,
+                &mut NullSink,
+                &mut rec,
+                |_, _, _, _| {},
+            );
+            (
+                rec.counter("medium.gain_cache_hits"),
+                rec.counter("medium.gain_cache_misses"),
+            )
+        };
+        let (h0, m0) = resolve(&mut fast, &w, 0);
+        assert_eq!(h0, 0, "first slot of the epoch cannot hit");
+        assert!(m0 > 0, "first slot must fill rows");
+        let (h1, m1) = resolve(&mut fast, &w, 1);
+        assert_eq!(m1, 0, "same epoch, same senders: no refill");
+        assert_eq!(h1, m0, "every filled row is reused");
+
+        // A position update advances the mobility epoch: full flush.
+        let moved: Vec<Position> = w.deployment().positions().to_vec();
+        w.update_positions(&moved);
+        let (h2, m2) = resolve(&mut fast, &w, 2);
+        assert_eq!(h2, 0, "mobility epoch moved: cache must flush");
+        assert_eq!(m2, m0);
+
+        // Engine-reported churn flushes too, positions unchanged.
+        fast.note_churn();
+        let (h3, m3) = resolve(&mut fast, &w, 3);
+        assert_eq!(h3, 0, "churn generation moved: cache must flush");
+        assert_eq!(m3, m0);
     }
 
     #[test]

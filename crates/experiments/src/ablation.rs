@@ -10,7 +10,7 @@
 //! * **A4 — topology**: mesh vs. tree coupling on the ideal oscillator
 //!   population (the paper's core design decision, without any radio).
 
-use ffd2d_core::{EngineMode, ScenarioConfig, StProtocol};
+use ffd2d_core::{EngineMode, GainCacheMode, ScenarioConfig, StProtocol};
 use ffd2d_metrics::{Series, Summary};
 use ffd2d_osc::network::CoupledNetwork;
 use ffd2d_osc::prc::Prc;
@@ -34,6 +34,9 @@ pub struct AblationParams {
     /// outcome-neutral, see `tests/engine_equivalence.rs`. The
     /// radio-free oscillator studies (A2, A4) have no slot engine.
     pub engine: EngineMode,
+    /// Epoch-keyed gain cache for the radio-backed sweeps; also
+    /// outcome-neutral, see `tests/gain_cache.rs`.
+    pub gain_cache: GainCacheMode,
 }
 
 impl Default for AblationParams {
@@ -44,6 +47,7 @@ impl Default for AblationParams {
             horizon: SlotDuration(40_000),
             seed: 0xAB1A,
             engine: EngineMode::default(),
+            gain_cache: GainCacheMode::default(),
         }
     }
 }
@@ -69,11 +73,13 @@ where
     };
     let horizon = params.horizon;
     let engine = params.engine;
+    let gain_cache = params.gain_cache;
     let grouped = run_trials(xs, &cfg, |&x, ctx| {
         let scenario = scenario_for(x)
             .seeded(ctx.seed)
             .with_max_slots(horizon)
-            .with_engine(engine);
+            .with_engine(engine)
+            .with_gain_cache(gain_cache);
         let out = StProtocol::run(&scenario);
         (
             out.time_or(horizon).as_millis() as f64,

@@ -39,6 +39,9 @@ fn main() {
     if let Some(engine) = ffd2d_experiments::engine_from_args() {
         params.engine = engine;
     }
+    if let Some(mode) = ffd2d_experiments::gain_cache_from_args() {
+        params.gain_cache = mode;
+    }
     if which == "sigma" || which == "all" {
         println!("== A1: shadowing sigma sweep (ST, n={}) ==", params.n);
         for p in shadowing_sweep(&params, &[0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0]) {

@@ -111,21 +111,33 @@ fn print_manifest(path: &str, m: &ManifestSummary) {
         }
     }
 
-    // Derived headline ratios, when their inputs are present.
-    let hits = m.counter("medium.lru_hits");
-    let misses = m.counter("medium.lru_misses");
-    if hits + misses > 0 {
-        println!(
-            "\nmean-cache (LRU) hit rate: {:.1}% ({hits} hits / {misses} misses)",
-            100.0 * hits as f64 / (hits + misses) as f64
-        );
+    // Derived headline ratios. A family that was instrumented but saw
+    // zero lookups renders `n/a` — never `0.0%` or NaN. A family whose
+    // keys are absent entirely (e.g. `--gain-cache off` emits no
+    // gain-cache counters) is skipped.
+    if m.has_counter("medium.gain_cache_hits") || m.has_counter("medium.gain_cache_misses") {
+        let hits = m.counter("medium.gain_cache_hits");
+        let fills = m.counter("medium.gain_cache_misses");
+        print!("\ngain-cache row hit rate: ");
+        if hits + fills > 0 {
+            println!(
+                "{:.1}% ({hits} rows served / {fills} rows filled)",
+                100.0 * hits as f64 / (hits + fills) as f64
+            );
+        } else {
+            println!("n/a (no lookups)");
+        }
     }
-    let materialized = m.counter("engine.slots_materialized");
-    let skipped = m.counter("engine.slots_skipped");
-    if materialized + skipped > 0 {
-        println!(
-            "slots: {materialized} materialized, {skipped} skipped ({:.1}% idle warped past)",
-            100.0 * skipped as f64 / (materialized + skipped) as f64
-        );
+    if m.has_counter("engine.slots_materialized") || m.has_counter("engine.slots_skipped") {
+        let materialized = m.counter("engine.slots_materialized");
+        let skipped = m.counter("engine.slots_skipped");
+        if materialized + skipped > 0 {
+            println!(
+                "slots: {materialized} materialized, {skipped} skipped ({:.1}% idle warped past)",
+                100.0 * skipped as f64 / (materialized + skipped) as f64
+            );
+        } else {
+            println!("slots: n/a (no slots ran)");
+        }
     }
 }

@@ -37,6 +37,7 @@ pub use trace::{trace_dir_from_args, write_sweep_traces};
 /// sweep's node counts with an explicit comma-separated list, e.g.
 /// `--nodes 5000` to profile one out-of-sweep cell), `--horizon SLOTS`,
 /// `--engine stepped|event`, `--medium-workers off|auto|K`,
+/// `--gain-cache epoch|off`,
 /// `--faults churn-light|churn-heavy|lossy|PLAN.json` (see
 /// [`trace_dir_from_args`] for the `--trace DIR` flag).
 ///
@@ -90,6 +91,9 @@ pub fn sweep_params_from_args() -> SweepParams {
         None if params.trials == 1 => ffd2d_core::Parallelism::Auto,
         None => params.medium,
     };
+    if let Some(mode) = gain_cache_from_args() {
+        params.gain_cache = mode;
+    }
     params.faults = faults_from_args();
     params
 }
@@ -136,6 +140,28 @@ pub fn engine_from_args() -> Option<ffd2d_core::EngineMode> {
         Some(mode) => Some(mode),
         None => {
             eprintln!("--engine requires a value: 'stepped' or 'event'");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse the `--gain-cache epoch|off` flag shared by the experiment
+/// binaries. `None` when the flag is absent (callers keep their
+/// default, [`ffd2d_core::GainCacheMode::Epoch`]); exits with a usage
+/// error on an unrecognized value — the cache is outcome-neutral
+/// (locked by `tests/gain_cache.rs`), so a typo silently falling back
+/// would be invisible in the output. `off` exists for A/B timing and
+/// for proving neutrality in CI, not for production runs.
+pub fn gain_cache_from_args() -> Option<ffd2d_core::GainCacheMode> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--gain-cache")?;
+    match args
+        .get(i + 1)
+        .and_then(|v| ffd2d_core::GainCacheMode::from_flag(v))
+    {
+        Some(mode) => Some(mode),
+        None => {
+            eprintln!("--gain-cache requires a value: 'epoch' (or 'on') or 'off'");
             std::process::exit(2);
         }
     }

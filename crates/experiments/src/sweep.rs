@@ -21,7 +21,9 @@
 use serde::{Deserialize, Serialize};
 
 use ffd2d_baseline::FstProtocol;
-use ffd2d_core::{EngineMode, FaultPlan, Parallelism, ScenarioConfig, StProtocol, World};
+use ffd2d_core::{
+    EngineMode, FaultPlan, GainCacheMode, Parallelism, ScenarioConfig, StProtocol, World,
+};
 use ffd2d_metrics::{Figure, Series, Summary, Table};
 use ffd2d_parallel::{run_trials, SweepConfig};
 use ffd2d_sim::time::SlotDuration;
@@ -53,6 +55,12 @@ pub struct SweepParams {
     /// provably outcome-neutral — the CSVs are bit-identical to a build
     /// without the chaos subsystem at all).
     pub faults: Option<String>,
+    /// Epoch-keyed gain cache in the fast medium. Outcome-neutral
+    /// (locked by `tests/gain_cache.rs`): `Off` recomputes every mean
+    /// link gain per slot, `Epoch` (the default) reuses rows across
+    /// slots until positions or membership change. Only wall clock
+    /// moves.
+    pub gain_cache: GainCacheMode,
 }
 
 impl Default for SweepParams {
@@ -65,6 +73,7 @@ impl Default for SweepParams {
             engine: EngineMode::default(),
             medium: Parallelism::default(),
             faults: None,
+            gain_cache: GainCacheMode::default(),
         }
     }
 }
@@ -80,6 +89,7 @@ impl SweepParams {
             engine: EngineMode::default(),
             medium: Parallelism::default(),
             faults: None,
+            gain_cache: GainCacheMode::default(),
         }
     }
 }
@@ -144,6 +154,7 @@ pub fn run_paper_sweep(params: &SweepParams) -> SweepReport {
     let horizon = params.horizon;
     let engine = params.engine;
     let medium = params.medium;
+    let gain_cache = params.gain_cache;
     // Presets scale with the cell's population and horizon, so the plan
     // is resolved once per node count, up front — a bad spec fails the
     // whole sweep before any trial runs.
@@ -163,6 +174,7 @@ pub fn run_paper_sweep(params: &SweepParams) -> SweepReport {
             .with_max_slots(horizon)
             .with_engine(engine)
             .with_parallelism(medium)
+            .with_gain_cache(gain_cache)
             .with_faults(plans[ctx.param_index].clone());
         let world = World::new(&scenario);
         let st = StProtocol::run_in(&world);
@@ -455,6 +467,19 @@ mod tests {
     }
 
     #[test]
+    fn sweep_csvs_identical_with_gain_cache_off() {
+        // The epoch-keyed gain cache is outcome-neutral: disabling it
+        // recomputes every mean link gain but cannot move the CSVs.
+        let mut p = SweepParams::quick();
+        p.node_counts = vec![20, 50];
+        let cached = run_paper_sweep(&p);
+        p.gain_cache = GainCacheMode::Off;
+        let uncached = run_paper_sweep(&p);
+        assert_eq!(cached.fig3().to_csv(), uncached.fig3().to_csv());
+        assert_eq!(cached.fig4_csv(), uncached.fig4_csv());
+    }
+
+    #[test]
     fn small_n_favors_fst_messages() {
         // The left side of Fig. 4: mesh beats tree on messages at tiny n.
         let params = SweepParams {
@@ -465,6 +490,7 @@ mod tests {
             engine: EngineMode::default(),
             medium: Parallelism::default(),
             faults: None,
+            gain_cache: GainCacheMode::default(),
         };
         let report = run_paper_sweep(&params);
         let (_, st, fst) = report.cells[0];

@@ -90,6 +90,7 @@ pub fn write_sweep_telemetry(params: &SweepParams, dir: &Path) -> io::Result<Vec
             .with_max_slots(params.horizon)
             .with_engine(params.engine)
             .with_parallelism(medium)
+            .with_gain_cache(params.gain_cache)
             .with_faults(faults);
         let world = World::new(&scenario);
         for (proto, stem) in [("st", format!("st_n{n}")), ("fst", format!("fst_n{n}"))] {
@@ -189,6 +190,13 @@ fn scenario_config_echo(proto: &str, scenario: &ScenarioConfig) -> Vec<(String, 
                 ffd2d_core::Parallelism::Off => "off".to_string(),
                 ffd2d_core::Parallelism::Auto => "auto".to_string(),
                 ffd2d_core::Parallelism::Fixed(k) => k.to_string(),
+            },
+        ),
+        (
+            "gain_cache".to_string(),
+            match scenario.gain_cache {
+                ffd2d_core::GainCacheMode::Epoch => "epoch".to_string(),
+                ffd2d_core::GainCacheMode::Off => "off".to_string(),
             },
         ),
         (

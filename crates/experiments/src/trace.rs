@@ -75,6 +75,7 @@ pub fn write_sweep_traces(params: &SweepParams, dir: &Path) -> io::Result<Vec<Pa
             .seeded(seed)
             .with_max_slots(params.horizon)
             .with_parallelism(medium)
+            .with_gain_cache(params.gain_cache)
             .with_faults(faults);
         let world = World::new(&scenario);
         written.push(trace_one(dir, &format!("st_n{n}"), |sink| {

@@ -46,6 +46,12 @@ pub struct SpatialGrid {
     ys: Vec<f64>,
     /// Counting-sort cursor, kept to reuse its allocation on re-bucket.
     cursor: Vec<u32>,
+    /// Monotonic bucketing generation: incremented by every
+    /// [`SpatialGrid::rebucket`] (including the one inside
+    /// [`SpatialGrid::new`]). Consumers that cache position-derived
+    /// state key their entries on this value — geometry is unchanged
+    /// exactly while the generation is unchanged.
+    generation: u64,
 }
 
 impl SpatialGrid {
@@ -80,6 +86,7 @@ impl SpatialGrid {
             xs: Vec::new(),
             ys: Vec::new(),
             cursor: Vec::new(),
+            generation: 0,
         };
         grid.rebucket(points);
         grid
@@ -89,6 +96,7 @@ impl SpatialGrid {
     /// sort; reuses all allocations. `points` may differ in length from
     /// the previous population.
     pub fn rebucket(&mut self, points: &[(f64, f64)]) {
+        self.generation += 1;
         let cells = self.cols * self.rows;
         self.xs.clear();
         self.ys.clear();
@@ -152,6 +160,14 @@ impl SpatialGrid {
     #[inline]
     pub fn cell_count(&self) -> usize {
         self.cols * self.rows
+    }
+
+    /// The current bucketing generation (see the field docs): ≥ 1 once
+    /// constructed, strictly increasing across re-buckets. Two calls
+    /// returning the same value guarantee no point moved in between.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The stored coordinates of point `id`.
@@ -318,6 +334,17 @@ mod tests {
         g.rebucket(&pts);
         assert_eq!(g.within_vec(1.0, 1.0, 5.0), vec![0, 1]);
         assert_eq!(g.within_vec(90.0, 90.0, 5.0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn generation_counts_rebuckets() {
+        let pts = vec![(1.0, 1.0), (9.0, 9.0)];
+        let mut g = SpatialGrid::new(10.0, 10.0, 5.0, &pts);
+        assert_eq!(g.generation(), 1, "construction performs one bucketing");
+        g.rebucket(&pts);
+        assert_eq!(g.generation(), 2);
+        g.rebucket(&[(2.0, 2.0)]);
+        assert_eq!(g.generation(), 3);
     }
 
     #[test]

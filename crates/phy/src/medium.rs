@@ -111,6 +111,10 @@ struct PreparedSlot {
     /// [`RachCodec::ALL`]), submission order preserved within a codec —
     /// the same order the old per-receiver filter visited them in.
     by_codec: [Vec<Transmission>; 2],
+    /// Sender ids parallel to `by_codec`, so the per-receiver loop can
+    /// hand a whole codec's senders to the batched mean-gain kernel
+    /// ([`Channel::mean_rx_power_batch`]) in one call.
+    senders_by_codec: [Vec<DeviceId>; 2],
 }
 
 impl PreparedSlot {
@@ -118,17 +122,20 @@ impl PreparedSlot {
         let mut senders: Vec<DeviceId> = transmissions.iter().map(|t| t.sender()).collect();
         senders.sort_unstable();
         let mut by_codec: [Vec<Transmission>; 2] = [Vec::new(), Vec::new()];
+        let mut senders_by_codec: [Vec<DeviceId>; 2] = [Vec::new(), Vec::new()];
         for &tx in transmissions {
             let ci = RachCodec::ALL
                 .iter()
                 .position(|&c| c == tx.codec())
                 .expect("codec is in ALL");
             by_codec[ci].push(tx);
+            senders_by_codec[ci].push(tx.sender());
         }
         PreparedSlot {
             slot,
             senders,
             by_codec,
+            senders_by_codec,
         }
     }
 }
@@ -361,8 +368,11 @@ impl Medium {
         sink: &mut S,
     ) {
         let slot = prepared.slot;
-        // Scratch: audible same-codec signals at the current receiver.
+        let threshold = channel.config().detection_threshold;
+        // Scratch: audible same-codec signals at the current receiver,
+        // and the batched mean link gains feeding them.
         let mut audible: Vec<(f64, &Transmission)> = Vec::new();
+        let mut means: Vec<f64> = Vec::new();
         for &rx in receivers {
             let mut report = DeliveryReport::default();
             if prepared.senders.binary_search(&rx).is_ok() {
@@ -372,10 +382,17 @@ impl Medium {
             }
             for (ci, codec) in RachCodec::ALL.into_iter().enumerate() {
                 audible.clear();
-                for tx in &prepared.by_codec[ci] {
-                    let sample = channel.sample(tx.sender(), rx, slot);
-                    if sample.detected {
-                        audible.push((sample.rx_power.get(), tx));
+                // Mean gains for the whole codec batch in one kernel
+                // pass (symmetric, so rx-side batching matches the
+                // tx→rx facade bit for bit); fading — the only per-slot
+                // term — is then added per transmission, which is
+                // exactly `channel.sample` split in two.
+                means.clear();
+                channel.mean_rx_power_batch(rx, &prepared.senders_by_codec[ci], &mut means);
+                for (tx, &mean) in prepared.by_codec[ci].iter().zip(&means) {
+                    let rx_power = channel.rx_power_from_mean(mean, tx.sender(), rx, slot);
+                    if rx_power >= threshold {
+                        audible.push((rx_power.get(), tx));
                     } else {
                         counters.rx_below_threshold += 1;
                     }

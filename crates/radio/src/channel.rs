@@ -116,6 +116,40 @@ impl ChannelConfig {
     }
 }
 
+/// Batched mean-gain kernel: append to `out` the long-term mean
+/// received power (path loss + shadowing) in dBm from `sender` to each
+/// id in `receivers`, in order — one pass over positions instead of
+/// pair-at-a-time facade calls. Element `j` is bit-identical to
+/// [`Channel::mean_rx_power`]`(sender, receivers[j])` for a channel
+/// built from the same deployment, config and shadowing field: the
+/// expression and evaluation order are exactly the facade's. A
+/// self-pair yields `NEG_INFINITY` — no device hears itself; callers'
+/// half-duplex masking never reads the entry, the sentinel just keeps
+/// threshold pruning conservative if one leaks through.
+///
+/// Both [`Channel::mean_rx_power_batch`] and the core `World`'s batch
+/// fill delegate here, so every consumer of cached mean gains shares
+/// one code path.
+pub fn fill_mean_rx_dbm(
+    deployment: &Deployment,
+    tx_power: Dbm,
+    pathloss: PathLoss,
+    shadowing: &ShadowingField,
+    sender: DeviceId,
+    receivers: &[DeviceId],
+    out: &mut Vec<f64>,
+) {
+    out.reserve(receivers.len());
+    for &r in receivers {
+        if r == sender {
+            out.push(f64::NEG_INFINITY);
+            continue;
+        }
+        let d = deployment.distance(sender, r);
+        out.push((tx_power - pathloss.loss(d) + shadowing.sample(sender, r)).get());
+    }
+}
+
 /// One sampled reception.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LinkSample {
@@ -167,10 +201,41 @@ impl<'a> Channel<'a> {
         self.config.tx_power - self.config.pathloss.loss(d) + self.shadowing.sample(a, b)
     }
 
+    /// Batched [`Channel::mean_rx_power`]: mean received power from
+    /// `sender` at each of `receivers`, appended to `out` as raw dBm in
+    /// one pass via [`fill_mean_rx_dbm`]. Element-wise bit-identical to
+    /// the pair-at-a-time facade; self-pairs yield `NEG_INFINITY`.
+    pub fn mean_rx_power_batch(
+        &self,
+        sender: DeviceId,
+        receivers: &[DeviceId],
+        out: &mut Vec<f64>,
+    ) {
+        fill_mean_rx_dbm(
+            self.deployment,
+            self.config.tx_power,
+            self.config.pathloss,
+            &self.shadowing,
+            sender,
+            receivers,
+            out,
+        );
+    }
+
     /// Instantaneous received power on link `a → b` at `slot`
     /// (eq. (9) plus block fading).
     pub fn rx_power(&self, a: DeviceId, b: DeviceId, slot: Slot) -> Dbm {
         self.mean_rx_power(a, b) + self.config.fading.gain(self.fading_seed, a, b, slot)
+    }
+
+    /// Instantaneous received power from a precomputed mean: adds the
+    /// per-slot block-fading draw to `mean_dbm`. When `mean_dbm` came
+    /// from [`Channel::mean_rx_power`] or the batched kernel, the
+    /// result is bit-identical to [`Channel::rx_power`] — fading is the
+    /// only per-slot term, so splitting mean from draw changes nothing.
+    #[inline]
+    pub fn rx_power_from_mean(&self, mean_dbm: f64, a: DeviceId, b: DeviceId, slot: Slot) -> Dbm {
+        Dbm(mean_dbm) + self.config.fading.gain(self.fading_seed, a, b, slot)
     }
 
     /// Sample a reception attempt on `a → b` at `slot`.
@@ -331,6 +396,52 @@ mod tests {
                 );
             }
             assert!(ch.mean_rx_power(0, 1) < cfg.detection_threshold);
+        }
+    }
+
+    #[test]
+    fn batched_means_match_the_facade_bit_for_bit() {
+        let dep = Deployment::from_positions(
+            (0..12)
+                .map(|i| Position::new((i * 13 % 90) as f64, (i * 29 % 70) as f64))
+                .collect(),
+            Meters(200.0),
+            Meters(200.0),
+        );
+        for cfg in [ChannelConfig::default(), ChannelConfig::ideal()] {
+            let ch = Channel::new(&dep, cfg, 42);
+            let receivers: Vec<DeviceId> = (0..12).collect();
+            for sender in 0..12u32 {
+                let mut batch = Vec::new();
+                ch.mean_rx_power_batch(sender, &receivers, &mut batch);
+                assert_eq!(batch.len(), receivers.len());
+                for (&r, &m) in receivers.iter().zip(&batch) {
+                    if r == sender {
+                        assert_eq!(m, f64::NEG_INFINITY, "self-pair sentinel");
+                    } else {
+                        assert_eq!(
+                            m.to_bits(),
+                            ch.mean_rx_power(sender, r).get().to_bits(),
+                            "link {sender}->{r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rx_power_from_batched_mean_matches_direct_sampling() {
+        let dep = two_devices(42.0);
+        let ch = Channel::new(&dep, ChannelConfig::default(), 7);
+        let mut means = Vec::new();
+        ch.mean_rx_power_batch(0, &[1], &mut means);
+        for slot in [0u64, 3, 19, 400] {
+            assert_eq!(
+                ch.rx_power_from_mean(means[0], 0, 1, Slot(slot)),
+                ch.rx_power(0, 1, Slot(slot)),
+                "slot {slot}"
+            );
         }
     }
 

@@ -293,6 +293,13 @@ impl ManifestSummary {
             .unwrap_or(0)
     }
 
+    /// Whether the manifest recorded a counter under `key` at all —
+    /// distinguishes "instrumented but zero" from "never emitted"
+    /// (e.g. the gain cache disabled), which `counter` conflates.
+    pub fn has_counter(&self, key: &str) -> bool {
+        self.counters.iter().any(|(k, _)| k == key)
+    }
+
     /// Config echo value by key.
     pub fn config_value(&self, key: &str) -> Option<&str> {
         self.config
@@ -310,7 +317,7 @@ mod tests {
     fn sample_manifest() -> RunManifest {
         let mut t = Telemetry::new();
         t.add("engine.slots_materialized", 1234);
-        t.add("medium.lru_hits", 88);
+        t.add("medium.gain_cache_hits", 88);
         t.gauge("medium.last_workers", 4.0);
         for i in 0..100u64 {
             t.record_ns("engine.slot.sync", 1000 + i * 10);
@@ -337,7 +344,7 @@ mod tests {
         assert_eq!(parsed.config_value("protocol"), Some("st"));
         assert_eq!(parsed.config_value("n"), Some("50"));
         assert_eq!(parsed.counter("engine.slots_materialized"), 1234);
-        assert_eq!(parsed.counter("medium.lru_hits"), 88);
+        assert_eq!(parsed.counter("medium.gain_cache_hits"), 88);
         assert_eq!(
             parsed.gauges,
             vec![("medium.last_workers".to_string(), 4.0)]

@@ -1,0 +1,189 @@
+//! Equivalence harness: the epoch-keyed gain cache versus direct
+//! per-pair recomputation.
+//!
+//! [`FastMedium`] caches mean link gains (path loss + shadowing — every
+//! position-determined term) in rows keyed `(sender, grid cell)`,
+//! valid while the world's mobility epoch and the medium's churn
+//! generation stand still; the per-slot fading draw stays outside the
+//! cache. A cached row is *the same `f64`s* the direct path computes
+//! (same batched kernel, same iteration order), so `GainCacheMode::Off`
+//! versus `Epoch` must agree **bit for bit** — including under churn,
+//! where joins/leaves flush the store mid-run.
+//!
+//! The harness locks that down across the full execution matrix (both
+//! protocols × both engines × medium workers {1, 4}) under a
+//! churn-heavy fault plan, asserting identical [`RunOutcome`]s and
+//! byte-identical JSONL traces; a proptest then drives the medium
+//! directly through random position updates, checking a warmed cache
+//! never serves a stale row (post-move resolution is bit-identical to
+//! a cold medium's) and keeps serving within an unchanged epoch.
+
+use ffd2d::baseline::FstProtocol;
+use ffd2d::core::world::FastMedium;
+use ffd2d::core::{
+    EngineMode, FaultPlan, GainCacheMode, Parallelism, ScenarioConfig, StProtocol, World,
+};
+use ffd2d::phy::codec::ServiceClass;
+use ffd2d::phy::frame::{FrameKind, ProximitySignal};
+use ffd2d::sim::counters::Counters;
+use ffd2d::sim::deployment::{Meters, Position};
+use ffd2d::sim::time::{Slot, SlotDuration};
+use ffd2d::trace::JsonlSink;
+use proptest::prelude::*;
+
+/// Table-I arena under a churn-heavy plan: joins and leaves force the
+/// mid-run cache flush path, power droops exercise the per-transmission
+/// adjustment downstream of the cached mean.
+fn churny_cfg(n: usize, seed: u64, horizon: u64) -> ScenarioConfig {
+    let faults = FaultPlan::resolve("churn-heavy", n, horizon).expect("preset");
+    ScenarioConfig::table1(n)
+        .seeded(seed)
+        .with_max_slots(SlotDuration(horizon))
+        .with_faults(faults)
+}
+
+/// Assert `Epoch` ≡ `Off` for both protocols on `cfg`: bit-identical
+/// `RunOutcome`s and byte-identical JSONL traces.
+fn assert_cache_neutral(label: &str, cfg: &ScenarioConfig) {
+    let run_all = |mode: GainCacheMode| {
+        let cfg = cfg.clone().with_gain_cache(mode);
+        let st = StProtocol::run(&cfg);
+        let fst = FstProtocol::run(&cfg);
+        let mut st_sink = JsonlSink::new(Vec::new());
+        let st_traced = StProtocol::run_traced(&cfg, &mut st_sink);
+        assert!(st_sink.io_error().is_none());
+        let mut fst_sink = JsonlSink::new(Vec::new());
+        let fst_traced = FstProtocol::run_traced(&cfg, &mut fst_sink);
+        assert!(fst_sink.io_error().is_none());
+        assert_eq!(st, st_traced, "tracing perturbed ST: {label}");
+        assert_eq!(fst, fst_traced, "tracing perturbed FST: {label}");
+        (st, fst, st_sink.into_inner(), fst_sink.into_inner())
+    };
+
+    let cached = run_all(GainCacheMode::Epoch);
+    let direct = run_all(GainCacheMode::Off);
+    assert!(!cached.2.is_empty(), "empty ST trace: {label}");
+    assert_eq!(cached.0, direct.0, "ST outcomes diverged: {label}");
+    assert_eq!(cached.1, direct.1, "FST outcomes diverged: {label}");
+    assert_eq!(cached.2, direct.2, "ST JSONL bytes diverged: {label}");
+    assert_eq!(cached.3, direct.3, "FST JSONL bytes diverged: {label}");
+}
+
+#[test]
+fn gain_cache_is_outcome_neutral_across_the_matrix() {
+    // Engines × workers on one churn-heavy cell; each arm runs both
+    // protocols, plain and traced, under both cache modes.
+    let base = churny_cfg(48, 0xCAC4E, 12_000);
+    for engine in [EngineMode::Stepped, EngineMode::EventDriven] {
+        for workers in [1usize, 4] {
+            let cfg = base
+                .clone()
+                .with_engine(engine)
+                .with_parallelism(Parallelism::Fixed(workers));
+            assert_cache_neutral(&format!("{engine:?}, workers={workers}"), &cfg);
+        }
+    }
+}
+
+#[test]
+fn gain_cache_is_outcome_neutral_on_a_larger_churny_cell() {
+    // One bigger population on the defaults (event engine, auto
+    // parallelism off) — enough devices that rows genuinely span
+    // multiple shards when CI pins FFD2D_WORKERS.
+    assert_cache_neutral("n=200 churn-heavy", &churny_cfg(200, 0xD2D, 4_000));
+}
+
+/// A mixed fire/handshake batch, senders spread over the population.
+fn batch(n: usize, slot: u64) -> Vec<ProximitySignal> {
+    (0..12u32)
+        .map(|k| {
+            let sender = ((k as u64 * (n as u64 / 12).max(1) + slot * 5) % n as u64) as u32;
+            let kind = if k % 2 == 0 {
+                FrameKind::Fire {
+                    fragment: sender,
+                    age: 0,
+                }
+            } else {
+                FrameKind::HConnect {
+                    to: sender ^ 1,
+                    fragment: sender,
+                    fragment_size: 1,
+                    head: sender,
+                }
+            };
+            ProximitySignal {
+                sender,
+                service: ServiceClass::KEEP_ALIVE,
+                kind,
+            }
+        })
+        .collect()
+}
+
+/// Resolve one slot and return every delivery (receiver, sender,
+/// rx-power bits) plus the counters — the full observable output.
+fn resolve_one(
+    medium: &mut FastMedium,
+    world: &World,
+    slot: u64,
+) -> (Vec<(u32, u32, u64)>, Counters) {
+    let mut counters = Counters::new();
+    let mut deliveries = Vec::new();
+    let txs = batch(world.n(), slot);
+    medium.resolve(world, Slot(slot), &txs, &mut counters, |r, sig, p| {
+        deliveries.push((r, sig.sender, p.to_bits()));
+    });
+    (deliveries, counters)
+}
+
+proptest! {
+    /// Random position updates invalidate the cache correctly: after
+    /// any move, a medium whose cache was warmed under the *old*
+    /// positions resolves bit-identically to a cold medium over the
+    /// moved world (no stale row survives), and while nothing moves the
+    /// warmed cache keeps resolving bit-identically slot after slot.
+    #[test]
+    fn position_updates_never_leave_stale_rows(
+        seed in 0u64..10_000,
+        moved in proptest::collection::vec((0usize..40, -80.0f64..80.0, -80.0f64..80.0), 1..8),
+    ) {
+        // A 1 km ideal-channel arena: the audibility disc is smaller
+        // than the arena, so the grid has many cells and a row covers
+        // only part of the population — stale entries would be local,
+        // exactly what a whole-store flush must still catch.
+        let mut cfg = ScenarioConfig::table1(40).seeded(seed).ideal_channel();
+        cfg.sim.area_width = Meters(1000.0);
+        cfg.sim.area_height = Meters(1000.0);
+        let mut world = World::new(&cfg);
+
+        let mut warm = FastMedium::new(world.n());
+        // Warm the cache, then check an unchanged epoch re-serves the
+        // cached rows bit-identically to a cold medium.
+        let _ = resolve_one(&mut warm, &world, 0);
+        let warm_out = resolve_one(&mut warm, &world, 1);
+        let cold_out = resolve_one(&mut FastMedium::new(world.n()), &world, 1);
+        prop_assert_eq!(&warm_out, &cold_out, "cached re-serve diverged before any move");
+
+        // Perturb a random subset of devices (clamped by the world).
+        let mut positions: Vec<Position> = world.deployment().positions().to_vec();
+        for &(idx, dx, dy) in &moved {
+            positions[idx].x += dx;
+            positions[idx].y += dy;
+        }
+        let epoch_before = world.mobility_epoch();
+        world.update_positions(&positions);
+        prop_assert!(world.mobility_epoch() > epoch_before, "move did not advance the epoch");
+
+        // The warmed medium must now agree with a cold one on the moved
+        // world — any stale mean would shift an rx power and change a
+        // delivery bit pattern or a counter.
+        let warm_out = resolve_one(&mut warm, &world, 2);
+        let cold_out = resolve_one(&mut FastMedium::new(world.n()), &world, 2);
+        prop_assert_eq!(&warm_out, &cold_out, "stale row served after a position update");
+
+        // And the re-warmed cache keeps agreeing on later slots.
+        let warm_out = resolve_one(&mut warm, &world, 3);
+        let cold_out = resolve_one(&mut FastMedium::new(world.n()), &world, 3);
+        prop_assert_eq!(&warm_out, &cold_out, "re-warmed cache diverged");
+    }
+}

@@ -195,8 +195,14 @@ fn hot_path_keys_are_recorded_with_plausible_magnitudes() {
         "cannot resolve more slots than were materialized"
     );
     assert!(rec.counter("medium.transmissions") > 0);
-    let lru = rec.counter("medium.lru_hits") + rec.counter("medium.lru_misses");
-    assert!(lru > 0, "mean-cache telemetry missing");
+    let fills = rec.counter("medium.gain_cache_misses");
+    let hits = rec.counter("medium.gain_cache_hits");
+    assert!(fills > 0, "epoch cache never filled a row");
+    assert!(
+        hits > fills,
+        "epoch cache should serve far more rows than it fills \
+         (hits {hits}, fills {fills})"
+    );
     // Slot timers: each materialized slot lands in exactly one
     // phase-keyed histogram.
     let slot_samples: u64 = [
