@@ -18,8 +18,6 @@
 //! (`tests/engine_equivalence.rs`).
 
 use rand::Rng;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use ffd2d_chaos::{ChurnEvent, ChurnKind, FaultPlan, FrameFate};
 use ffd2d_core::device::{CouplingMode, Device};
@@ -34,6 +32,7 @@ use ffd2d_phy::frame::{FrameKind, ProximitySignal};
 use ffd2d_radio::units::Dbm;
 use ffd2d_sim::counters::Counters;
 use ffd2d_sim::deployment::DeviceId;
+use ffd2d_sim::event::{DensityWindow, SlotWheel};
 use ffd2d_sim::rng::{StreamId, StreamRng};
 use ffd2d_sim::time::{Slot, SlotDuration};
 use ffd2d_telemetry::{NullRecorder, Recorder};
@@ -104,7 +103,9 @@ impl FstProtocol {
         sink: &mut S,
         rec: &mut R,
     ) -> RunOutcome {
-        if !S::ENABLED && world.config().engine == EngineMode::EventDriven {
+        if !S::ENABLED && world.config().engine != EngineMode::Stepped {
+            // EventDriven and Adaptive share the wake machinery (see
+            // the ST engine's dispatch for the rationale).
             FstEngine::<S, R, true>::new(world, sink, rec).run()
         } else {
             FstEngine::<S, R, false>::new(world, sink, rec).run()
@@ -151,11 +152,21 @@ struct FstEngine<'w, S: TraceSink, R: Recorder, const EV: bool> {
     /// reference point.
     last_fault_slot: Option<u64>,
     // --- Event-driven machinery (dormant when `EV` is false) ---
-    /// Candidate wake-up slots (bare slot numbers; spurious entries are
-    /// harmless).
-    wake: BinaryHeap<Reverse<u64>>,
+    /// Candidate wake-up slots (bare slot numbers, coalesced per slot
+    /// by the two-tier wheel; spurious entries are harmless).
+    wake: SlotWheel,
     /// All slots `< synced_next` are fully processed.
     synced_next: u64,
+    /// May the run cut between strategies ([`EngineMode::Adaptive`])?
+    adaptive: bool,
+    /// Current strategy: `true` ⇒ event-driven windows, `false` ⇒
+    /// stepped windows (wake bookkeeping kept, cursor/touched
+    /// maintenance shed).
+    live_ev: bool,
+    /// Sliding-window wake density driving the cutover (adaptive only).
+    density: DensityWindow,
+    /// Did any oscillator fire naturally in the current slot?
+    fired_this_slot: bool,
     /// Devices whose phase may have changed this slot.
     touched: Vec<DeviceId>,
     /// Per-device memoized-trajectory position (`None` ⇒ literal ticks).
@@ -214,8 +225,12 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
             skewed,
             chaos_key: FaultPlan::chaos_key(seed),
             last_fault_slot: faults.last_fault_slot(),
-            wake: BinaryHeap::new(),
+            wake: SlotWheel::new(),
             synced_next: 0,
+            adaptive: cfg.engine == EngineMode::Adaptive,
+            live_ev: true,
+            density: DensityWindow::new(DensityWindow::DEFAULT_WINDOW),
+            fired_this_slot: false,
             touched: Vec::new(),
             cursors: vec![None; n],
             traj: TrajectoryCache::new(cfg.protocol.period_slots),
@@ -228,13 +243,13 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
     /// coupling re-entrains it without any protocol machinery.
     fn apply_churn(&mut self, slot: Slot) {
         let n = self.devices.len();
-        let mut any = false;
+        let mut churned: Vec<DeviceId> = Vec::new();
         while self.next_churn < self.churn_events.len()
             && self.churn_events[self.next_churn].slot <= slot.0
         {
             let ev = self.churn_events[self.next_churn];
             self.next_churn += 1;
-            any = true;
+            churned.push(ev.device);
             self.rec.add("chaos.churn_events", 1);
             let d = ev.device as usize;
             match ev.kind {
@@ -257,7 +272,9 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
                     }
                     self.active[d] = true;
                     self.devices[d].table = NeighborTable::new(n);
-                    if EV {
+                    if EV && self.live_ev {
+                        // Stepped windows tick every slot and the
+                        // cutover reseed re-predicts the population.
                         self.touched.push(ev.device);
                     }
                     if S::ENABLED {
@@ -269,10 +286,10 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
                 }
             }
         }
-        if any {
-            // Population changed: advance the medium's churn generation
-            // so its epoch-keyed link-state cache flushes next resolve.
-            self.medium.note_churn();
+        if !churned.is_empty() {
+            // Population changed: stale exactly the churned devices'
+            // link-state cache rows; everyone else's stay hot.
+            self.medium.note_churn_of(&churned);
         }
     }
 
@@ -304,7 +321,9 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
             self.apply_churn(slot);
         }
 
-        // Tick and stagger natural fires.
+        // Tick and stagger natural fires. Cursor/touched maintenance
+        // only pays off when skip-ahead will use it — stepped windows
+        // of an adaptive run shed it (and reseed at the next cutover).
         for i in 0..n {
             if self.churned && !self.active[i] {
                 continue; // departed devices are frozen
@@ -313,7 +332,10 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
                 let j = self.rng.gen_range(0..FIRE_JITTER);
                 self.fire_queue[(s + j) as usize % FIRE_RING].push((i as DeviceId, j as u8));
                 if EV {
-                    self.touched.push(i as DeviceId);
+                    self.fired_this_slot = true;
+                    if self.live_ev {
+                        self.touched.push(i as DeviceId);
+                    }
                     if j > 0 {
                         // The staggered transmission lands in a future
                         // slot, which must be materialized for the ring
@@ -321,7 +343,7 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
                         self.push_wake(s + j);
                     }
                 }
-            } else if EV {
+            } else if EV && self.live_ev {
                 self.cursors[i] = self.cursors[i].map(Cursor::next);
             }
         }
@@ -358,6 +380,7 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
                 let devices = &mut self.devices;
                 let prc = &self.prc;
                 let touched = &mut self.touched;
+                let live_ev = self.live_ev;
                 self.medium.resolve_instrumented(
                     world,
                     slot,
@@ -413,13 +436,13 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
                                     &pathloss,
                                     tx_power,
                                 );
-                                let before = if S::ENABLED || EV {
+                                let before = if S::ENABLED || (EV && live_ev) {
                                     dev.osc.phase()
                                 } else {
                                     0.0
                                 };
                                 let fired = dev.hear_fire_delayed(sig.sender, prc, age as u32);
-                                if S::ENABLED || EV {
+                                if S::ENABLED || (EV && live_ev) {
                                     let after = dev.osc.phase();
                                     if S::ENABLED && (after != before || fired) {
                                         sink.event(&TraceEvent::PhaseAdjust {
@@ -431,7 +454,7 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
                                             absorbed: fired,
                                         });
                                     }
-                                    if EV && (after != before || fired) {
+                                    if EV && live_ev && (after != before || fired) {
                                         touched.push(receiver);
                                     }
                                 }
@@ -508,12 +531,24 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
         );
     }
 
-    /// Schedule a wake-up slot, tallying calendar-queue pressure for an
-    /// enabled recorder (a no-op push otherwise).
+    /// Schedule a wake-up slot, tallying scheduler pressure for an
+    /// enabled recorder (a no-op push otherwise). Wake-ups landing on
+    /// an already-scheduled slot coalesce inside the wheel.
     #[inline]
     fn push_wake(&mut self, s: u64) {
         self.rec.add("engine.wakeups_scheduled", 1);
-        self.wake.push(Reverse(s));
+        self.wake.push(s);
+    }
+
+    /// Flush the wheel's coalesce/stale tallies into the recorder.
+    fn flush_wheel_stats(&mut self) {
+        let (coalesced, stale) = self.wake.take_stats();
+        if coalesced > 0 {
+            self.rec.add("engine.coalesced_wakeups", coalesced);
+        }
+        if stale > 0 {
+            self.rec.add("engine.wakeups_stale", stale);
+        }
     }
 
     /// Seed the wake queue: slot 0 (its body runs the unconditional
@@ -533,24 +568,75 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
         }
     }
 
-    /// Pop the next slot to materialize (see the ST engine).
+    /// Pop the next slot to materialize (see the ST engine — the wheel
+    /// already coalesced duplicates, so pops are distinct and strictly
+    /// increasing).
     fn next_wake(&mut self, max_slots: u64) -> Option<u64> {
-        while let Some(Reverse(s)) = self.wake.pop() {
-            if s < self.synced_next {
-                self.rec.add("engine.wakeups_stale", 1);
-                continue;
-            }
-            if s >= max_slots {
-                return None;
-            }
+        if R::ENABLED {
+            self.flush_wheel_stats();
+        }
+        let s = self.wake.pop()?;
+        debug_assert!(s >= self.synced_next, "wheel popped a processed slot");
+        if s >= max_slots {
+            return None;
+        }
+        self.rec.add("engine.wakeups_fired", 1);
+        if R::ENABLED {
+            self.rec
+                .observe("engine.wake_heap_depth", self.wake.pending() as u64);
+            self.rec
+                .observe("engine.wheel_occupancy", self.wake.in_window() as u64);
+        }
+        Some(s)
+    }
+
+    /// Stepped-window counterpart of [`next_wake`](FstEngine::
+    /// next_wake): consume the wheel entry (if any) at exactly slot
+    /// `s`, keeping the wheel's clock in lockstep.
+    fn claim_wake(&mut self, s: u64) -> bool {
+        if R::ENABLED {
+            self.flush_wheel_stats();
+        }
+        let woke = self.wake.claim(s);
+        if woke {
             self.rec.add("engine.wakeups_fired", 1);
             if R::ENABLED {
                 self.rec
-                    .observe("engine.wake_heap_depth", self.wake.len() as u64);
+                    .observe("engine.wheel_occupancy", self.wake.in_window() as u64);
             }
-            return Some(s);
         }
-        None
+        woke
+    }
+
+    /// Feed the density tracker after materializing slot `s` and apply
+    /// the execution-strategy cutover it decides (adaptive mode only).
+    fn update_cutover(&mut self, s: u64, woke: bool) {
+        let busy = woke || self.fired_this_slot;
+        let stepped = self.density.observe(s, busy);
+        if stepped != self.live_ev {
+            return;
+        }
+        self.rec.add("engine.cutover_transitions", 1);
+        self.live_ev = !stepped;
+        if self.live_ev {
+            self.reseed_event_wakes(s);
+        }
+    }
+
+    /// Entering an event-driven window from a stepped one: drop every
+    /// cursor back to the literal-ticking fallback and re-predict each
+    /// live oscillator's next fire (probe and jitter wakes kept flowing
+    /// into the wheel throughout the stepped window).
+    fn reseed_event_wakes(&mut self, s: u64) {
+        self.touched.clear();
+        for i in 0..self.devices.len() {
+            self.cursors[i] = None;
+            if self.churned && !self.active[i] {
+                continue;
+            }
+            let k = u64::from(self.devices[i].osc.ticks_to_next_fire());
+            self.push_wake(s + k);
+        }
     }
 
     /// Fast-forward every device through the skipped (pure-tick) slots
@@ -652,9 +738,24 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
         let max_slots = world.config().sim.max_slots.0;
         if EV {
             self.schedule_initial();
-            while let Some(s) = self.next_wake(max_slots) {
+            loop {
+                // Acquire the next slot under the current strategy
+                // (see the ST engine's loop for the rationale).
+                let (s, woke) = if self.live_ev {
+                    match self.next_wake(max_slots) {
+                        Some(s) => (s, true),
+                        None => break,
+                    }
+                } else {
+                    let s = self.synced_next;
+                    if s >= max_slots {
+                        break;
+                    }
+                    (s, self.claim_wake(s))
+                };
                 self.advance_to(s);
                 last_slot = s;
+                self.fired_this_slot = false;
                 let probe = self.slot_body(Slot(s));
                 self.synced_next = s + 1;
                 if let Some(c) = probe {
@@ -671,6 +772,9 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
                     }
                 }
                 self.post_schedule(s);
+                if self.adaptive {
+                    self.update_cutover(s, woke);
+                }
             }
         } else {
             for s in 0..max_slots {

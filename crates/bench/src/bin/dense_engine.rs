@@ -1,0 +1,173 @@
+//! Stepped vs. event-driven vs. adaptive engine wall-clock comparison
+//! in the *dense* regime.
+//!
+//! Usage: dense_engine [--trials K]
+//!
+//! `slot_engine` measures the sparse regime the event engine was built
+//! for; this bench measures the paper's own Table-I arena (100 m ×
+//! 100 m, σ = 10 dB shadowing + Rayleigh fading, 100-slot oscillator
+//! period), where at n ≥ 1000 nearly every slot carries fires and the
+//! event engine's wake-up bookkeeping (touched-set maintenance, cursor
+//! derivations, per-device wake pushes) is pure overhead on top of the
+//! stepped loop it effectively degenerates into. The adaptive engine
+//! detects that density per 256-slot window and cuts over to stepped
+//! execution, so it should track the *best* fixed mode at every n —
+//! within noise of stepped here, within noise of event in the sparse
+//! bench — while staying bit-identical to both (asserted below before
+//! any timing).
+//!
+//! Writes `BENCH_dense_engine.json` at the repo root: median wall-clock
+//! per engine at n ∈ {1000, 5000}, adaptive-vs-fixed ratios, scheduler
+//! telemetry (stale-wakeup and coalescing rates, cutover transitions)
+//! from instrumented replays, and host metadata. Run with `--release` —
+//! debug timings are meaningless.
+
+use std::time::Instant;
+
+use ffd2d_core::{EngineMode, ScenarioConfig, StProtocol, World};
+use ffd2d_sim::time::SlotDuration;
+use ffd2d_telemetry::Telemetry;
+
+/// The paper's dense Table-I arena, horizon sized so the bench stays
+/// affordable at n=5000 while still spanning several 256-slot density
+/// windows (the adaptive engine needs at least one full window to cut
+/// over).
+fn scenario(n: usize, horizon: u64, engine: EngineMode) -> ScenarioConfig {
+    ScenarioConfig::table1(n)
+        .seeded(0xDE_45E)
+        .with_max_slots(SlotDuration(horizon))
+        .with_engine(engine)
+}
+
+/// Median wall-clock seconds over `trials` runs of `cfg`.
+fn median_secs(cfg: &ScenarioConfig, trials: usize) -> f64 {
+    let mut times: Vec<f64> = (0..trials)
+        .map(|_| {
+            let start = Instant::now();
+            let out = StProtocol::run(cfg);
+            let secs = start.elapsed().as_secs_f64();
+            // Keep the run from being optimized out.
+            assert!(out.counters.total_tx() > 0);
+            secs
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    times[times.len() / 2]
+}
+
+/// Scheduler telemetry from one instrumented run: (scheduled, stale,
+/// coalesced, fired, cutover transitions).
+fn wake_telemetry(cfg: &ScenarioConfig) -> (u64, u64, u64, u64, u64) {
+    let world = World::new(cfg);
+    let mut rec = Telemetry::new();
+    StProtocol::run_in_instrumented(&world, &mut ffd2d_trace::NullSink, &mut rec);
+    (
+        rec.counter("engine.wakeups_scheduled"),
+        rec.counter("engine.wakeups_stale"),
+        rec.counter("engine.coalesced_wakeups"),
+        rec.counter("engine.wakeups_fired"),
+        rec.counter("engine.cutover_transitions"),
+    )
+}
+
+fn rate(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let value_of = |flag: &str| -> Option<u64> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    let trials = value_of("--trials").unwrap_or(3) as usize;
+
+    let mut rows = String::new();
+    for (i, &(n, horizon)) in [(1000usize, 2_000u64), (5000, 600)].iter().enumerate() {
+        let stepped_cfg = scenario(n, horizon, EngineMode::Stepped);
+        let event_cfg = scenario(n, horizon, EngineMode::EventDriven);
+        let adaptive_cfg = scenario(n, horizon, EngineMode::Adaptive);
+
+        // The comparison is only meaningful if all three engines do the
+        // same simulation — outcome struct included, counter for
+        // counter. This is the equivalence the test suite locks.
+        let a = StProtocol::run(&stepped_cfg);
+        let b = StProtocol::run(&event_cfg);
+        let c = StProtocol::run(&adaptive_cfg);
+        assert_eq!(a, b, "stepped/event diverged at n={n} — bench bogus");
+        assert_eq!(a, c, "stepped/adaptive diverged at n={n} — bench bogus");
+
+        let stepped = median_secs(&stepped_cfg, trials);
+        let event = median_secs(&event_cfg, trials);
+        let adaptive = median_secs(&adaptive_cfg, trials);
+        let vs_event = event / adaptive;
+        let vs_best = stepped.min(event) / adaptive;
+
+        let (ev_sched, ev_stale, ev_coal, ev_fired, _) = wake_telemetry(&event_cfg);
+        let (ad_sched, ad_stale, ad_coal, ad_fired, ad_cuts) = wake_telemetry(&adaptive_cfg);
+        let slots_run = a.convergence_time.map(|t| t.0).unwrap_or(horizon);
+
+        println!(
+            "n={n:5}  stepped {stepped:7.3}s  event {event:7.3}s  adaptive {adaptive:7.3}s  \
+             adaptive-vs-event {vs_event:5.2}x  vs-best {vs_best:5.2}x  \
+             (cutovers: {ad_cuts}, slots: {slots_run})"
+        );
+        println!(
+            "         event    scheduled {ev_sched}, stale {:.1}%, coalesced {:.1}%, fired {ev_fired}",
+            100.0 * rate(ev_stale, ev_sched),
+            100.0 * rate(ev_coal, ev_sched),
+        );
+        println!(
+            "         adaptive scheduled {ad_sched}, stale {:.1}%, coalesced {:.1}%, fired {ad_fired}",
+            100.0 * rate(ad_stale, ad_sched),
+            100.0 * rate(ad_coal, ad_sched),
+        );
+
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"n\": {n}, \"horizon_slots\": {horizon}, \"stepped_s\": {stepped:.6}, \
+             \"event_s\": {event:.6}, \"adaptive_s\": {adaptive:.6}, \
+             \"adaptive_vs_event\": {vs_event:.3}, \"adaptive_vs_best\": {vs_best:.3}, \
+             \"converged\": {}, \"slots_run\": {slots_run}, \
+             \"cutover_transitions\": {ad_cuts}, \
+             \"event_wakeups_scheduled\": {ev_sched}, \"event_stale_rate\": {:.4}, \
+             \"event_coalesced_rate\": {:.4}, \
+             \"adaptive_wakeups_scheduled\": {ad_sched}, \"adaptive_stale_rate\": {:.4}, \
+             \"adaptive_coalesced_rate\": {:.4}}}",
+            a.converged(),
+            rate(ev_stale, ev_sched),
+            rate(ev_coal, ev_sched),
+            rate(ad_stale, ad_sched),
+            rate(ad_coal, ad_sched),
+        ));
+    }
+
+    let cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \"bench\": \"dense_engine\",\n  \"protocol\": \"ST\",\n  \
+         \"scenario\": {{\"arena\": \"Table-I, 100m x 100m, shadowing + Rayleigh\", \
+         \"period_slots\": 100, \"seed\": 910942, \"trials\": {trials}, \
+         \"metric\": \"median wall-clock seconds\"}},\n  \
+         \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {cpus}, \
+         \"profile\": \"{}\"}},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+    );
+    std::fs::write("BENCH_dense_engine.json", &json).expect("write BENCH_dense_engine.json");
+    eprintln!("wrote BENCH_dense_engine.json");
+}

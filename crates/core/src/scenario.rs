@@ -85,7 +85,7 @@ impl ProtocolConfig {
 
 /// Execution strategy for the protocol engines.
 ///
-/// Both modes produce **bit-identical** outcomes (locked down by
+/// All modes produce **bit-identical** outcomes (locked down by
 /// `tests/engine_equivalence.rs`); the choice is purely about wall
 /// clock. Tracing sinks need per-slot statistics, so a traced run
 /// always materializes every slot regardless of this setting.
@@ -94,17 +94,27 @@ pub enum EngineMode {
     /// Materialize every slot of the horizon (the reference loop).
     Stepped,
     /// Jump between wake-up slots (fires, deadlines, deliveries) via a
-    /// calendar queue, fast-forwarding the idle stretches.
-    #[default]
+    /// coalescing slot wheel, fast-forwarding the idle stretches.
     EventDriven,
+    /// Track the wake-up density over a sliding window and switch
+    /// between stepped and event-driven execution per window, with
+    /// hysteresis: dense cells (where someone always fires next slot)
+    /// run the cheap stepped loop, sparse arenas keep the event
+    /// engine's skip-ahead. The cutover decision is a pure function of
+    /// already-counted scheduler state — never timing or RNG — so
+    /// adaptive runs replay bit-identically.
+    #[default]
+    Adaptive,
 }
 
 impl EngineMode {
-    /// Parse a `--engine` flag value (`stepped` / `event`).
+    /// Parse a `--engine` flag value (`stepped` / `event` /
+    /// `adaptive`).
     pub fn from_flag(flag: &str) -> Option<EngineMode> {
         match flag {
             "stepped" => Some(EngineMode::Stepped),
             "event" | "event-driven" => Some(EngineMode::EventDriven),
+            "adaptive" => Some(EngineMode::Adaptive),
             _ => None,
         }
     }
@@ -301,14 +311,18 @@ mod tests {
     }
 
     #[test]
-    fn engine_mode_defaults_to_event_driven() {
-        assert_eq!(ScenarioConfig::table1(10).engine, EngineMode::EventDriven);
+    fn engine_mode_defaults_to_adaptive() {
+        assert_eq!(ScenarioConfig::table1(10).engine, EngineMode::Adaptive);
         let c = ScenarioConfig::table1(10).with_engine(EngineMode::Stepped);
         assert_eq!(c.engine, EngineMode::Stepped);
         assert_eq!(EngineMode::from_flag("stepped"), Some(EngineMode::Stepped));
         assert_eq!(
             EngineMode::from_flag("event"),
             Some(EngineMode::EventDriven)
+        );
+        assert_eq!(
+            EngineMode::from_flag("adaptive"),
+            Some(EngineMode::Adaptive)
         );
         assert_eq!(EngineMode::from_flag("bogus"), None);
     }

@@ -39,8 +39,7 @@
 //!   adopting tree links implied by received floods.
 
 use rand::Rng;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 use ffd2d_chaos::{ChurnEvent, ChurnKind, FaultPlan, FrameFate};
 use ffd2d_osc::prc::Prc;
@@ -49,6 +48,7 @@ use ffd2d_phy::frame::{FrameKind, ProximitySignal};
 use ffd2d_radio::units::Dbm;
 use ffd2d_sim::counters::Counters;
 use ffd2d_sim::deployment::DeviceId;
+use ffd2d_sim::event::{DensityWindow, SlotWheel};
 use ffd2d_sim::rng::{StreamId, StreamRng};
 use ffd2d_sim::time::{Slot, SlotDuration};
 use ffd2d_telemetry::{NullRecorder, Recorder};
@@ -143,7 +143,10 @@ impl StProtocol {
         sink: &mut S,
         rec: &mut R,
     ) -> RunOutcome {
-        if !S::ENABLED && world.config().engine == EngineMode::EventDriven {
+        if !S::ENABLED && world.config().engine != EngineMode::Stepped {
+            // EventDriven and Adaptive share the wake machinery; the
+            // adaptive engine additionally flips between skip-ahead and
+            // per-slot execution at density-window boundaries.
             Engine::<S, R, true>::new(world, sink, rec).run()
         } else {
             Engine::<S, R, false>::new(world, sink, rec).run()
@@ -387,13 +390,29 @@ struct Engine<'w, S: TraceSink, R: Recorder, const EV: bool> {
     /// Tree fragments orphaned by departures (see [`RunOutcome`]).
     orphaned_fragments: u32,
     // --- Event-driven machinery (dormant when `EV` is false) ---
-    /// Candidate wake-up slots. Bare slot numbers, no payloads: a
+    /// Candidate wake-up slots. Bare slot numbers, no payloads: the
+    /// two-tier wheel coalesces everything landing on one slot, and a
     /// spurious wake just materializes a slot in which nothing happens,
-    /// so stale entries need no invalidation.
-    wake: BinaryHeap<Reverse<u64>>,
+    /// so entries need no invalidation.
+    wake: SlotWheel,
     /// All slots `< synced_next` are fully processed (device state
     /// reflects every tick up to and including slot `synced_next - 1`).
     synced_next: u64,
+    /// True when the run may cut between execution strategies
+    /// ([`EngineMode::Adaptive`]); the pure event-driven mode pins
+    /// `live_ev` to `true` forever.
+    adaptive: bool,
+    /// Current execution strategy: `true` ⇒ event-driven windows
+    /// (skip-ahead, cursor maintenance, touched tracking); `false` ⇒
+    /// stepped windows (every slot materialized, wake bookkeeping kept
+    /// but cursor/touched maintenance shed — that is the saving).
+    live_ev: bool,
+    /// Sliding-window wake density driving the cutover (adaptive only).
+    density: DensityWindow,
+    /// Did any oscillator fire naturally in the slot being processed?
+    /// Part of the density signal in stepped windows, where fire slots
+    /// are no longer predicted into the wheel.
+    fired_this_slot: bool,
     /// Devices whose oscillator phase may have changed in the current
     /// slot (fired, absorbed, or parent-aligned); drained by
     /// [`post_schedule`](Engine::post_schedule) to re-derive cursors
@@ -482,8 +501,12 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
             last_fault_slot: faults.last_fault_slot(),
             merge_deadline: 0,
             orphaned_fragments: 0,
-            wake: BinaryHeap::new(),
+            wake: SlotWheel::new(),
             synced_next: 0,
+            adaptive: cfg.engine == EngineMode::Adaptive,
+            live_ev: true,
+            density: DensityWindow::new(DensityWindow::DEFAULT_WINDOW),
+            fired_this_slot: false,
             touched: Vec::new(),
             // Initial phases are arbitrary random reals — never
             // canonical — so every device starts on the literal-ticking
@@ -1256,23 +1279,23 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
     /// churn slot is pre-scheduled as a wake, so both engines apply
     /// each event in exactly its scheduled slot.
     fn apply_churn(&mut self, slot: Slot) {
-        let mut any = false;
+        let mut churned: Vec<DeviceId> = Vec::new();
         while self.next_churn < self.churn_events.len()
             && self.churn_events[self.next_churn].slot <= slot.0
         {
             let ev = self.churn_events[self.next_churn];
             self.next_churn += 1;
-            any = true;
+            churned.push(ev.device);
             self.rec.add("chaos.churn_events", 1);
             match ev.kind {
                 ChurnKind::Leave => self.device_leave(ev.device, slot),
                 ChurnKind::Join => self.device_join(ev.device, slot),
             }
         }
-        if any {
-            // Population changed: advance the medium's churn generation
-            // so its epoch-keyed link-state cache flushes next resolve.
-            self.medium.note_churn();
+        if !churned.is_empty() {
+            // Population changed: stale exactly the churned devices'
+            // link-state cache rows; everyone else's stay hot.
+            self.medium.note_churn_of(&churned);
             self.reopen_merging(slot);
         }
     }
@@ -1328,8 +1351,10 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
             CouplingMode::TreeOnly
         };
         self.m[d as usize] = MState::default();
-        if EV {
-            // Re-predict the thawed oscillator's next fire.
+        if EV && self.live_ev {
+            // Re-predict the thawed oscillator's next fire. (Stepped
+            // windows materialize every slot, so the tick catches it;
+            // the cutover reseed re-predicts the whole population.)
             self.touched.push(d);
         }
         if S::ENABLED {
@@ -1437,12 +1462,24 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
         self.start_round(slot);
     }
 
-    /// Schedule a wake-up slot, tallying calendar-queue pressure for an
-    /// enabled recorder (a no-op push otherwise).
+    /// Schedule a wake-up slot, tallying scheduler pressure for an
+    /// enabled recorder (a no-op push otherwise). Wake-ups landing on
+    /// an already-scheduled slot coalesce inside the wheel.
     #[inline]
     fn push_wake(&mut self, s: u64) {
         self.rec.add("engine.wakeups_scheduled", 1);
-        self.wake.push(Reverse(s));
+        self.wake.push(s);
+    }
+
+    /// Flush the wheel's coalesce/stale tallies into the recorder.
+    fn flush_wheel_stats(&mut self) {
+        let (coalesced, stale) = self.wake.take_stats();
+        if coalesced > 0 {
+            self.rec.add("engine.coalesced_wakeups", coalesced);
+        }
+        if stale > 0 {
+            self.rec.add("engine.wakeups_stale", stale);
+        }
     }
 
     /// Queue a staggered fire transmission for a device whose firing
@@ -1470,17 +1507,22 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
         let pathloss = self.world.channel_config().pathloss;
         let tx_power = self.world.channel_config().tx_power;
 
-        // Natural fires from the slot tick.
+        // Natural fires from the slot tick. Cursor/touched maintenance
+        // only pays off when skip-ahead will use it — stepped windows
+        // of an adaptive run shed it (and reseed at the next cutover).
         for i in 0..self.devices.len() {
             if self.churned && !self.active[i] {
                 continue; // departed devices are frozen
             }
             if self.devices[i].osc.tick() {
                 if EV {
-                    self.touched.push(i as DeviceId);
+                    self.fired_this_slot = true;
+                    if self.live_ev {
+                        self.touched.push(i as DeviceId);
+                    }
                 }
                 self.enqueue_fire(i as DeviceId, slot, 0, 0);
-            } else if EV {
+            } else if EV && self.live_ev {
                 self.cursors[i] = self.cursors[i].map(Cursor::next);
             }
         }
@@ -1551,6 +1593,7 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
             let devices = &mut self.devices;
             let prc = &self.prc;
             let touched = &mut self.touched;
+            let live_ev = self.live_ev;
             self.medium.resolve_instrumented(
                 self.world,
                 slot,
@@ -1610,13 +1653,13 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
                                     tx_power,
                                 );
                                 if age != BEACON_AGE {
-                                    let before = if S::ENABLED || EV {
+                                    let before = if S::ENABLED || (EV && live_ev) {
                                         dev.osc.phase()
                                     } else {
                                         0.0
                                     };
                                     let fired = dev.hear_fire_delayed(sig.sender, prc, age as u32);
-                                    if S::ENABLED || EV {
+                                    if S::ENABLED || (EV && live_ev) {
                                         let after = dev.osc.phase();
                                         if S::ENABLED && (after != before || fired) {
                                             sink.event(&TraceEvent::PhaseAdjust {
@@ -1628,7 +1671,7 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
                                                 absorbed: fired,
                                             });
                                         }
-                                        if EV && (after != before || fired) {
+                                        if EV && live_ev && (after != before || fired) {
                                             touched.push(receiver);
                                         }
                                     }
@@ -1869,27 +1912,48 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
         }
     }
 
-    /// Pop the next slot to materialize, skipping duplicates and
-    /// already-processed entries. `None` ends the run: the heap is
-    /// min-ordered, so once the top reaches the horizon every remaining
-    /// candidate is past it too.
+    /// Pop the next slot to materialize. The wheel already coalesced
+    /// duplicates and dropped stale pushes, so every pop is a distinct,
+    /// strictly increasing slot; `None` ends the run (pops are ordered,
+    /// so once one reaches the horizon every remaining candidate is
+    /// past it too).
     fn next_wake(&mut self, max_slots: u64) -> Option<u64> {
-        while let Some(Reverse(s)) = self.wake.pop() {
-            if s < self.synced_next {
-                self.rec.add("engine.wakeups_stale", 1);
-                continue;
-            }
-            if s >= max_slots {
-                return None;
-            }
+        if R::ENABLED {
+            self.flush_wheel_stats();
+        }
+        let s = self.wake.pop()?;
+        debug_assert!(s >= self.synced_next, "wheel popped a processed slot");
+        if s >= max_slots {
+            return None;
+        }
+        self.rec.add("engine.wakeups_fired", 1);
+        if R::ENABLED {
+            self.rec
+                .observe("engine.wake_heap_depth", self.wake.pending() as u64);
+            self.rec
+                .observe("engine.wheel_occupancy", self.wake.in_window() as u64);
+        }
+        Some(s)
+    }
+
+    /// Stepped-window counterpart of [`next_wake`](Engine::next_wake):
+    /// consume the wheel entry (if any) at exactly slot `s`, keeping
+    /// the wheel's clock in lockstep with the materialized slots.
+    /// Returns whether a wake was pending — the "would the event
+    /// engine have woken here?" half of the density signal.
+    fn claim_wake(&mut self, s: u64) -> bool {
+        if R::ENABLED {
+            self.flush_wheel_stats();
+        }
+        let woke = self.wake.claim(s);
+        if woke {
             self.rec.add("engine.wakeups_fired", 1);
             if R::ENABLED {
                 self.rec
-                    .observe("engine.wake_heap_depth", self.wake.len() as u64);
+                    .observe("engine.wheel_occupancy", self.wake.in_window() as u64);
             }
-            return Some(s);
         }
-        None
+        woke
     }
 
     /// Fast-forward every device through the skipped slots
@@ -1988,6 +2052,41 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
         }
     }
 
+    /// Feed the density tracker after materializing slot `s` and apply
+    /// the execution-strategy cutover it decides (adaptive mode only).
+    /// `woke` is the scheduler half of the busy signal: did a wheel
+    /// entry land on this slot?
+    fn update_cutover(&mut self, s: u64, woke: bool) {
+        let busy = woke || self.fired_this_slot;
+        let stepped = self.density.observe(s, busy);
+        if stepped != self.live_ev {
+            return;
+        }
+        self.rec.add("engine.cutover_transitions", 1);
+        self.live_ev = !stepped;
+        if self.live_ev {
+            self.reseed_event_wakes(s);
+        }
+    }
+
+    /// Entering an event-driven window from a stepped one: cursors and
+    /// per-device fire predictions went unmaintained, so drop every
+    /// cursor back to the literal-ticking fallback (the engine-start
+    /// state) and re-predict each live oscillator's next fire. Deadline,
+    /// outbox, beacon and probe wakes kept flowing into the wheel
+    /// throughout the stepped window, so they need no repair.
+    fn reseed_event_wakes(&mut self, s: u64) {
+        self.touched.clear();
+        for i in 0..self.devices.len() {
+            self.cursors[i] = None;
+            if self.churned && !self.active[i] {
+                continue;
+            }
+            let k = u64::from(self.devices[i].osc.ticks_to_next_fire());
+            self.push_wake(s + k);
+        }
+    }
+
     /// The first slot strictly after `s` holding any device's
     /// merge-phase beacon offset.
     fn next_beacon_slot(&self, s: u64) -> Option<u64> {
@@ -2037,9 +2136,26 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
         let max_slots = cfg.sim.max_slots.0;
         if EV {
             self.schedule_initial();
-            while let Some(s) = self.next_wake(max_slots) {
+            loop {
+                // Acquire the next slot under the current strategy:
+                // event-driven windows pop the wheel and skip ahead,
+                // stepped windows of an adaptive run materialize every
+                // slot (claiming keeps the wheel's clock in lockstep).
+                let (s, woke) = if self.live_ev {
+                    match self.next_wake(max_slots) {
+                        Some(s) => (s, true),
+                        None => break,
+                    }
+                } else {
+                    let s = self.synced_next;
+                    if s >= max_slots {
+                        break;
+                    }
+                    (s, self.claim_wake(s))
+                };
                 self.advance_to(s);
                 last_slot = s;
+                self.fired_this_slot = false;
                 let probe = self.slot_body(Slot(s));
                 self.synced_next = s + 1;
                 if let Some(c) = probe {
@@ -2056,6 +2172,9 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
                     }
                 }
                 self.post_schedule(s);
+                if self.adaptive {
+                    self.update_cutover(s, woke);
+                }
             }
         } else {
             for s in 0..max_slots {

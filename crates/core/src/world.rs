@@ -34,8 +34,10 @@
 //!    every subsequent slot of the epoch. Fading remains the only
 //!    per-slot keyed draw, so caching is provably bit-identical: no RNG
 //!    stream is touched. The cache is flushed when
-//!    [`World::mobility_epoch`] moves (re-bucketing) or the engine
-//!    reports churn ([`FastMedium::note_churn`]). Memory is one `f64`
+//!    [`World::mobility_epoch`] moves (re-bucketing); engine-reported
+//!    churn ([`FastMedium::note_churn_of`]) stales only the churned
+//!    senders' rows via per-row membership stamps, which refill in
+//!    place on next use. Memory is one `f64`
 //!    per cached directed (sender, cell-occupant) pair — proportional
 //!    to the audible-pair count actually exercised, not `n²` of the
 //!    whole arena (they coincide only when every device is audible to
@@ -60,7 +62,7 @@ use rand::Rng;
 use ffd2d_graph::adjacency::WeightedGraph;
 use ffd2d_graph::spatial::SpatialGrid;
 use ffd2d_graph::weight::W;
-use ffd2d_parallel::sharded_for_each;
+use ffd2d_parallel::sharded_for_each_weighted;
 use ffd2d_phy::codec::{RachCodec, ServiceClass};
 use ffd2d_phy::frame::ProximitySignal;
 use ffd2d_radio::channel::{Channel, ChannelConfig};
@@ -342,23 +344,43 @@ impl World {
 /// cached read is bit-identical to recomputation by construction.
 #[derive(Debug, Default)]
 struct GainCache {
-    /// `(World::mobility_epoch, FastMedium::churn_gen)` the entries are
-    /// valid for. `(0, _)` never matches a live world (its first
-    /// bucketing already advanced the epoch to 1), so a fresh cache
-    /// syncs on first use.
-    valid_for: (u64, u64),
+    /// [`World::mobility_epoch`] the entries are valid for. `0` never
+    /// matches a live world (its first bucketing already advanced the
+    /// epoch to 1), so a fresh cache syncs on first use. Position
+    /// changes re-bucket the grid, so they flush the whole store;
+    /// population churn is handled per sender via `device_gen`.
+    valid_for: u64,
     /// `(sender << 32) | cell` → index into `rows`. Lookup-only (never
     /// iterated), so map order cannot leak into results.
     index: HashMap<u64, u32>,
     rows: Vec<Vec<f64>>,
+    /// Per-row membership stamp, parallel to `rows`: the sender's
+    /// `device_gen` at fill time. A row is served only while the stamps
+    /// still agree; otherwise it is refilled in place.
+    row_gen: Vec<u64>,
+    /// Per-sender churn stamp: bumped by [`FastMedium::note_churn_of`]
+    /// for exactly the devices a join/leave touched, so rows of
+    /// unaffected senders survive churn. Sized lazily to the world.
+    device_gen: Vec<u64>,
+    /// Monotone churn-event counter feeding `device_gen` stamps.
+    churn_gen: u64,
 }
 
 impl GainCache {
-    /// Flush every entry and stamp the store valid for `key`.
-    fn reset(&mut self, key: (u64, u64)) {
+    /// Flush every entry and stamp the store valid for mobility epoch
+    /// `key`. Membership stamps persist — they are monotone and only
+    /// compared for equality, so surviving them is harmless.
+    fn reset(&mut self, key: u64) {
         self.valid_for = key;
         self.index.clear();
         self.rows.clear();
+        self.row_gen.clear();
+    }
+
+    /// The membership stamp rows by `sender` must carry to be served.
+    #[inline]
+    fn sender_gen(&self, sender: DeviceId) -> u64 {
+        self.device_gen.get(sender as usize).copied().unwrap_or(0)
     }
 }
 
@@ -384,7 +406,9 @@ enum RowRef {
 ///
 /// When the world's [`ScenarioConfig::parallelism`] engages, the
 /// accumulation phase shards the (sorted) touched-cell list into
-/// contiguous chunks, one scoped worker per chunk, each with its own
+/// contiguous chunks balanced by candidate-pair weight (transmissions ×
+/// occupants per cell, so one hot cell cannot serialize the slot), one
+/// scoped worker per chunk, each with its own
 /// persistent [`ShardScratch`]. A receiver lives in exactly one grid
 /// cell, so its `(receiver, codec)` accumulators are written by exactly
 /// one shard, in the same cell-ascending / submission order the
@@ -406,15 +430,16 @@ pub struct FastMedium {
     cell_stamp: Vec<u64>,
     cell_txs: Vec<Vec<u32>>,
     touched_cells: Vec<u32>,
+    /// Per-touched-cell candidate-pair weights (txs × occupants),
+    /// parallel to `touched_cells` after the sort; drives the
+    /// occupancy-weighted shard split (allocation reused).
+    cell_weights: Vec<u64>,
     /// `(key, shard)` pairs gathered per slot for globally-ordered
     /// delivery (allocation reused).
     delivery: Vec<(u32, u32)>,
     /// Shared epoch-keyed link-state cache (see [`GainCache`]): shards
     /// read it concurrently, publish their fills after the join.
     gains: GainCache,
-    /// Engine-reported churn generation ([`FastMedium::note_churn`]):
-    /// part of the cache validity key.
-    churn_gen: u64,
 }
 
 /// One shard's private accumulation state, persistent across slots:
@@ -607,7 +632,15 @@ impl ShardScratch {
             for &ti in txs_here {
                 let sender = ctx.transmissions[ti as usize].sender;
                 let key = ((sender as u64) << 32) | cell as u64;
-                let row = if let Some(&i) = gains.index.get(&key) {
+                // A shared row is served only while its membership
+                // stamp matches the sender's: churn stales exactly the
+                // churned senders' rows, which then refill below.
+                let shared = gains
+                    .index
+                    .get(&key)
+                    .copied()
+                    .filter(|&i| gains.row_gen[i as usize] == gains.sender_gen(sender));
+                let row = if let Some(i) = shared {
                     if TELEM {
                         self.rows_hit += 1;
                     }
@@ -659,22 +692,49 @@ impl FastMedium {
             cell_stamp: Vec::new(),
             cell_txs: Vec::new(),
             touched_cells: Vec::new(),
+            cell_weights: Vec::new(),
             delivery: Vec::with_capacity(64),
             gains: GainCache::default(),
-            churn_gen: 0,
         }
     }
 
-    /// Record that the driving engine applied churn (join/leave) —
-    /// called by the protocol engines whenever a fault plan's churn
-    /// events take effect. Bumps the churn generation, which is part of
-    /// the link-state cache's validity key, so the next resolve flushes
-    /// and refills it. Positions do not change under churn, so the
-    /// refill is value-identical — the flush trades a provably
-    /// redundant recomputation for an unconditionally honest epoch
-    /// contract ("any population event invalidates the cache").
+    /// Record that the driving engine applied churn (join/leave) to an
+    /// unknown set of devices: every sender's membership stamp advances,
+    /// so the whole link-state cache is lazily refilled. Prefer
+    /// [`FastMedium::note_churn_of`], which invalidates only the rows
+    /// the event actually touched.
     pub fn note_churn(&mut self) {
-        self.churn_gen += 1;
+        self.gains.churn_gen += 1;
+        let gen = self.gains.churn_gen;
+        if self.gains.device_gen.len() < self.n {
+            self.gains.device_gen.resize(self.n, 0);
+        }
+        self.gains.device_gen.iter_mut().for_each(|g| *g = gen);
+    }
+
+    /// Record that the driving engine applied churn (join/leave) to
+    /// exactly `devices` — called by the protocol engines whenever a
+    /// fault plan's churn events take effect. Only those devices'
+    /// membership stamps advance, so cached rows of unaffected senders
+    /// keep serving; the churned senders' rows are refilled in place on
+    /// next use. Positions do not change under churn, so even that
+    /// refill is value-identical — the narrow invalidation keeps the
+    /// honest contract ("a population event invalidates the state of
+    /// the devices it touched") without the full-cache flush the
+    /// coarse generation key used to force.
+    pub fn note_churn_of(&mut self, devices: &[DeviceId]) {
+        if devices.is_empty() {
+            return;
+        }
+        self.gains.churn_gen += 1;
+        let gen = self.gains.churn_gen;
+        for &d in devices {
+            let d = d as usize;
+            if d >= self.gains.device_gen.len() {
+                self.gains.device_gen.resize(self.n.max(d + 1), 0);
+            }
+            self.gains.device_gen[d] = gen;
+        }
     }
 
     #[inline]
@@ -686,15 +746,16 @@ impl FastMedium {
     }
 
     /// Size scratch state to `world` and flush the link-state cache if
-    /// its validity key moved: the world re-bucketed (mobility epoch)
-    /// or the engine reported churn since the last slot.
+    /// the world re-bucketed (mobility epoch) since the last slot.
+    /// Churn does not flush here: it only advances the churned senders'
+    /// membership stamps, leaving everyone else's rows hot.
     fn sync_with(&mut self, world: &World) {
         let cells = world.grid.cell_count();
         if self.cell_stamp.len() != cells {
             self.cell_stamp = vec![0; cells];
             self.cell_txs = vec![Vec::new(); cells];
         }
-        let key = (world.mobility_epoch(), self.churn_gen);
+        let key = world.mobility_epoch();
         if self.gains.valid_for != key {
             self.gains.reset(key);
         }
@@ -867,15 +928,19 @@ impl FastMedium {
         // Shard the (sorted) cell list when the configured parallelism
         // engages on this slot's workload. A receiver's accumulators
         // live with its home cell's shard, so any chunking yields
-        // bit-identical per-key results (see the struct docs).
-        let pairs: u64 = self
-            .touched_cells
-            .iter()
-            .map(|&c| {
-                self.cell_txs[c as usize].len() as u64
-                    * world.grid.cell_items(c as usize).len() as u64
-            })
-            .sum();
+        // bit-identical per-key results (see the struct docs). Chunk
+        // boundaries balance candidate pairs, not cell counts: one hot
+        // cell in a clustered deployment can carry most of the slot's
+        // work, and an even cell split would leave every other shard
+        // idle behind it.
+        self.cell_weights.clear();
+        let mut pairs = 0u64;
+        for &c in &self.touched_cells {
+            let w = self.cell_txs[c as usize].len() as u64
+                * world.grid.cell_items(c as usize).len() as u64;
+            self.cell_weights.push(w);
+            pairs += w;
+        }
         let workers = world
             .config()
             .parallelism
@@ -916,8 +981,9 @@ impl FastMedium {
             // Timed accumulation: each shard clocks its own busy window
             // on its own thread (the recorder itself stays on this
             // thread and is flushed after the join).
-            sharded_for_each(
+            sharded_for_each_weighted(
                 &self.touched_cells,
+                &self.cell_weights,
                 &mut self.shards[..workers],
                 |_, cells, shard| {
                     let t0 = Instant::now();
@@ -926,8 +992,9 @@ impl FastMedium {
                 },
             );
         } else {
-            sharded_for_each(
+            sharded_for_each_weighted(
                 &self.touched_cells,
+                &self.cell_weights,
                 &mut self.shards[..workers],
                 |_, cells, shard| shard.accumulate::<false>(&ctx, cells),
             );
@@ -951,7 +1018,9 @@ impl FastMedium {
         // within a slot (a touched cell is owned by exactly one shard
         // and local fills dedup per sender), and rows are pure
         // functions of positions — so the merged store is identical
-        // for any worker count.
+        // for any worker count. A key already present means the old
+        // row went stale under churn: it is replaced in place and
+        // re-stamped with the sender's current membership generation.
         if cached {
             for shard in &mut self.shards[..workers] {
                 if shard.fill_keys.is_empty() {
@@ -959,9 +1028,23 @@ impl FastMedium {
                 }
                 shard.fill_index.clear();
                 for (key, row) in shard.fill_keys.drain(..).zip(shard.fill_rows.drain(..)) {
-                    let prev = self.gains.index.insert(key, self.gains.rows.len() as u32);
-                    debug_assert!(prev.is_none(), "duplicate gain-cache fill, key {key}");
-                    self.gains.rows.push(row);
+                    let gen = self.gains.sender_gen((key >> 32) as DeviceId);
+                    match self.gains.index.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            let i = *e.get() as usize;
+                            debug_assert_ne!(
+                                self.gains.row_gen[i], gen,
+                                "refilled a still-valid gain-cache row, key {key}"
+                            );
+                            self.gains.rows[i] = row;
+                            self.gains.row_gen[i] = gen;
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(self.gains.rows.len() as u32);
+                            self.gains.rows.push(row);
+                            self.gains.row_gen.push(gen);
+                        }
+                    }
                 }
             }
         }
@@ -1424,11 +1507,29 @@ mod tests {
         assert_eq!(h2, 0, "mobility epoch moved: cache must flush");
         assert_eq!(m2, m0);
 
-        // Engine-reported churn flushes too, positions unchanged.
+        // Coarse engine-reported churn stales every row, positions
+        // unchanged.
         fast.note_churn();
         let (h3, m3) = resolve(&mut fast, &w, 3);
         assert_eq!(h3, 0, "churn generation moved: cache must flush");
         assert_eq!(m3, m0);
+        let (h4, m4) = resolve(&mut fast, &w, 4);
+        assert_eq!(m4, 0, "cache is warm again");
+        assert_eq!(h4, m0);
+
+        // Narrow churn: only the churned sender's rows go stale and
+        // refill in place; everyone else's keep serving.
+        fast.note_churn_of(&[2]);
+        let (h5, m5) = resolve(&mut fast, &w, 5);
+        assert!(m5 > 0, "the churned sender's rows refill");
+        assert!(h5 > 0, "other senders' rows keep serving");
+        assert_eq!(h5 + m5, m0, "per-row staleness, not a full flush");
+
+        // Churn of a device that never transmits stales no row at all.
+        fast.note_churn_of(&[0]);
+        let (h6, m6) = resolve(&mut fast, &w, 6);
+        assert_eq!(m6, 0, "non-sender churn leaves every row valid");
+        assert_eq!(h6, m0);
     }
 
     #[test]

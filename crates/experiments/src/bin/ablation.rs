@@ -1,11 +1,11 @@
 //! Ablations A1–A4.
 //! Usage: ablation [sigma|coupling|density|topology|all]
-//!                 [--engine stepped|event]
+//!                 [--engine stepped|event|adaptive]
 //!                 [--faults churn-light|churn-heavy|lossy|PLAN.json]
 //!                 [--trace DIR] [--telemetry DIR]
 //!
 //! `--engine` selects the slot engine for the radio-backed sweeps
-//! (A1, A3); results are bit-identical under both settings.
+//! (A1, A3); results are bit-identical under every setting.
 //!
 //! With `--trace DIR`, additionally runs one traced ST trial of the
 //! Table-I baseline ablation scenario (n = AblationParams default,

@@ -140,4 +140,36 @@ fn print_manifest(path: &str, m: &ManifestSummary) {
             println!("slots: n/a (no slots ran)");
         }
     }
+    // Wake-up scheduler health. Stale = pushed behind the clock and
+    // dropped; coalesced = merged into an already-pending slot (with
+    // the slot wheel, the old ~98% dense-cell stale rate shows up as
+    // coalescing instead). A stepped run schedules no wakes, so the
+    // family is absent and both lines render `n/a`.
+    let scheduled = m.counter("engine.wakeups_scheduled");
+    print!("stale-wakeup rate: ");
+    if scheduled > 0 {
+        let stale = m.counter("engine.wakeups_stale");
+        println!(
+            "{:.1}% ({stale} dropped / {scheduled} scheduled)",
+            100.0 * stale as f64 / scheduled as f64
+        );
+    } else {
+        println!("n/a (no wakes scheduled)");
+    }
+    print!("coalescing rate: ");
+    if scheduled > 0 {
+        let coalesced = m.counter("engine.coalesced_wakeups");
+        println!(
+            "{:.1}% ({coalesced} merged / {scheduled} scheduled)",
+            100.0 * coalesced as f64 / scheduled as f64
+        );
+    } else {
+        println!("n/a (no wakes scheduled)");
+    }
+    if m.has_counter("engine.cutover_transitions") {
+        println!(
+            "adaptive cutovers: {}",
+            m.counter("engine.cutover_transitions")
+        );
+    }
 }

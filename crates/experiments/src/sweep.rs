@@ -440,7 +440,7 @@ mod tests {
     }
 
     #[test]
-    fn sweep_csvs_identical_under_both_engines() {
+    fn sweep_csvs_identical_under_all_engines() {
         // The engine flag is outcome-neutral: the published figure CSVs
         // must not depend on it.
         let mut p = SweepParams::quick();
@@ -449,8 +449,12 @@ mod tests {
         let stepped = run_paper_sweep(&p);
         p.engine = EngineMode::EventDriven;
         let event = run_paper_sweep(&p);
+        p.engine = EngineMode::Adaptive;
+        let adaptive = run_paper_sweep(&p);
         assert_eq!(stepped.fig3().to_csv(), event.fig3().to_csv());
         assert_eq!(stepped.fig4_csv(), event.fig4_csv());
+        assert_eq!(stepped.fig3().to_csv(), adaptive.fig3().to_csv());
+        assert_eq!(stepped.fig4_csv(), adaptive.fig4_csv());
     }
 
     #[test]

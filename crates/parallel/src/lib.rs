@@ -12,9 +12,10 @@
 //!   land in their own slots, so the output is identical to the
 //!   sequential map regardless of thread count
 //!   ([`pool::parallel_map_with_workers`] pins the count for the
-//!   determinism suite), plus [`pool::sharded_for_each`]: contiguous
-//!   chunks with per-shard scratch state, the primitive behind
-//!   deterministic *intra-run* medium sharding.
+//!   determinism suite), plus [`pool::sharded_for_each`] and its
+//!   weight-balanced sibling [`pool::sharded_for_each_weighted`]:
+//!   contiguous chunks with per-shard scratch state, the primitives
+//!   behind deterministic *intra-run* medium sharding.
 //! * [`sweep`] — the experiment-shaped layer: a parameter grid × trial
 //!   count, each cell reduced with `ffd2d-metrics`-style mergeable
 //!   accumulators, with deterministic per-trial seeds derived from
@@ -33,7 +34,10 @@ pub mod pool;
 pub mod sweep;
 
 pub use parallelism::Parallelism;
-pub use pool::{available_workers, parallel_map, parallel_map_with_workers, sharded_for_each};
+pub use pool::{
+    available_workers, parallel_map, parallel_map_with_workers, sharded_for_each,
+    sharded_for_each_weighted,
+};
 pub use sweep::{
     run_sweep, run_trials, run_trials_with_workers, SweepConfig, SweepResult, TrialCtx,
 };

@@ -15,7 +15,9 @@
 //!   `(seed, trial)` pair and independent streams can be handed to the
 //!   channel, the deployment and each device without correlation.
 //! * [`event`] — a monotone event queue ([`event::EventQueue`]) with
-//!   deterministic FIFO tie-breaking for simultaneous events.
+//!   deterministic FIFO tie-breaking for simultaneous events, plus the
+//!   coalescing two-tier wake-up scheduler ([`event::SlotWheel`]) and
+//!   the adaptive-engine cutover policy ([`event::DensityWindow`]).
 //! * [`deployment`] — placement of devices on the plane (uniform random,
 //!   grid, clustered) in a configurable area.
 //! * [`mobility`] — random-waypoint motion on the slot grid (the
@@ -61,7 +63,7 @@ pub mod time;
 pub use config::SimConfig;
 pub use counters::Counters;
 pub use deployment::{Deployment, Meters, Position};
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::{DensityWindow, EventQueue, ScheduledEvent, SlotWheel};
 pub use mobility::{MobilityField, WaypointConfig};
 pub use rng::StreamRng;
 pub use time::{Slot, SlotDuration, SLOT_MILLIS};
@@ -71,7 +73,7 @@ pub mod prelude {
     pub use crate::config::SimConfig;
     pub use crate::counters::Counters;
     pub use crate::deployment::{Deployment, Meters, Position};
-    pub use crate::event::{EventQueue, ScheduledEvent};
+    pub use crate::event::{DensityWindow, EventQueue, ScheduledEvent, SlotWheel};
     pub use crate::rng::{SplitMix64, StreamRng, Xoshiro256StarStar};
     pub use crate::time::{Slot, SlotDuration, SLOT_MILLIS};
 }

@@ -1,16 +1,20 @@
-//! Equivalence harness: the event-driven slot-skipping engine versus
-//! the stepped reference loop.
+//! Equivalence harness: the event-driven slot-skipping engine (and the
+//! adaptive engine built on it) versus the stepped reference loop.
 //!
 //! Both protocol engines ([`StProtocol`] and the FST baseline) can run
-//! in two modes (see [`EngineMode`]): the *stepped* loop materializes
-//! every slot of the horizon, while the *event-driven* loop jumps
+//! in three modes (see [`EngineMode`]): the *stepped* loop materializes
+//! every slot of the horizon; the *event-driven* loop jumps
 //! between wake-up slots (oscillator fires, phase-transition
 //! boundaries, unicast deliveries, handshake deadlines) and
 //! fast-forwards the idle stretches through memoized phase
-//! trajectories. The fast-forward replays the exact `tick()`
-//! arithmetic, RNG streams are only consumed at materialized slots, and
-//! the wake set provably covers every slot where anything beyond pure
-//! phase ticking happens — so the two modes must agree **bit for bit**.
+//! trajectories; the *adaptive* engine starts event-driven and cuts
+//! over per 256-slot density window to stepped execution (and back)
+//! when most slots wake anyway. The fast-forward replays the exact
+//! `tick()` arithmetic, RNG streams are only consumed at materialized
+//! slots, and the wake set provably covers every slot where anything
+//! beyond pure phase ticking happens — materializing *extra* slots is
+//! outcome-neutral, so every cutover schedule agrees too and all three
+//! modes must match **bit for bit**.
 //!
 //! The harness locks that down at n ∈ {50, 200, 500} across the three
 //! channel regimes of `tests/medium_equivalence.rs`:
@@ -58,22 +62,27 @@ fn sparse_shadowed_cfg(n: usize, seed: u64, horizon: u64) -> ScenarioConfig {
     cfg
 }
 
-/// Assert stepped ≡ event-driven for both protocols on `cfg`:
-/// bit-identical `RunOutcome`s and byte-identical JSONL traces.
+/// Assert stepped ≡ event-driven ≡ adaptive for both protocols on
+/// `cfg`: bit-identical `RunOutcome`s and byte-identical JSONL traces.
 fn assert_engines_agree(label: &str, cfg: &ScenarioConfig) {
     let stepped = cfg.clone().with_engine(EngineMode::Stepped);
     let event = cfg.clone().with_engine(EngineMode::EventDriven);
+    let adaptive = cfg.clone().with_engine(EngineMode::Adaptive);
 
     let st_stepped = StProtocol::run(&stepped);
-    let st_event = StProtocol::run(&event);
-    assert_eq!(st_stepped, st_event, "ST outcomes diverged: {label}");
-
     let fst_stepped = FstProtocol::run(&stepped);
-    let fst_event = FstProtocol::run(&event);
-    assert_eq!(fst_stepped, fst_event, "FST outcomes diverged: {label}");
+    for (mode, alt) in [("event", &event), ("adaptive", &adaptive)] {
+        let st_alt = StProtocol::run(alt);
+        assert_eq!(st_stepped, st_alt, "ST outcomes diverged ({mode}): {label}");
+        let fst_alt = FstProtocol::run(alt);
+        assert_eq!(
+            fst_stepped, fst_alt,
+            "FST outcomes diverged ({mode}): {label}"
+        );
+    }
 
     // Same seed ⇒ byte-identical JSONL logs, whichever mode the config
-    // asks for, and tracing must not perturb the (event-mode) outcome.
+    // asks for, and tracing must not perturb the untraced outcome.
     let st_trace = |cfg: &ScenarioConfig| {
         let mut sink = JsonlSink::new(Vec::new());
         let out = StProtocol::run_traced(cfg, &mut sink);
@@ -81,11 +90,16 @@ fn assert_engines_agree(label: &str, cfg: &ScenarioConfig) {
         (out, sink.into_inner())
     };
     let (out_s, log_s) = st_trace(&stepped);
-    let (out_e, log_e) = st_trace(&event);
     assert_eq!(out_s, st_stepped, "tracing perturbed the ST run: {label}");
-    assert_eq!(out_e, st_event, "tracing perturbed the ST run: {label}");
-    assert_eq!(log_s, log_e, "ST JSONL bytes diverged: {label}");
     assert!(!log_s.is_empty(), "empty ST trace: {label}");
+    for (mode, alt) in [("event", &event), ("adaptive", &adaptive)] {
+        let (out_a, log_a) = st_trace(alt);
+        assert_eq!(
+            out_a, st_stepped,
+            "tracing perturbed the ST run ({mode}): {label}"
+        );
+        assert_eq!(log_s, log_a, "ST JSONL bytes diverged ({mode}): {label}");
+    }
 
     let fst_trace = |cfg: &ScenarioConfig| {
         let mut sink = JsonlSink::new(Vec::new());
@@ -94,11 +108,16 @@ fn assert_engines_agree(label: &str, cfg: &ScenarioConfig) {
         (out, sink.into_inner())
     };
     let (fout_s, flog_s) = fst_trace(&stepped);
-    let (fout_e, flog_e) = fst_trace(&event);
     assert_eq!(fout_s, fst_stepped, "tracing perturbed FST: {label}");
-    assert_eq!(fout_e, fst_event, "tracing perturbed FST: {label}");
-    assert_eq!(flog_s, flog_e, "FST JSONL bytes diverged: {label}");
     assert!(!flog_s.is_empty(), "empty FST trace: {label}");
+    for (mode, alt) in [("event", &event), ("adaptive", &adaptive)] {
+        let (fout_a, flog_a) = fst_trace(alt);
+        assert_eq!(
+            fout_a, fst_stepped,
+            "tracing perturbed FST ({mode}): {label}"
+        );
+        assert_eq!(flog_s, flog_a, "FST JSONL bytes diverged ({mode}): {label}");
+    }
 }
 
 // The horizons shrink with n to keep the (stepped, traced) reference
@@ -191,6 +210,36 @@ fn assert_parallelism_neutral(label: &str, cfg: &ScenarioConfig) {
         assert_eq!(
             sharded.3, baseline.3,
             "FST JSONL bytes diverged: {label}, {workers} workers"
+        );
+    }
+}
+
+/// A dense Table-I cell whose every 256-slot density window stays busy:
+/// the adaptive engine must cut over to stepped execution mid-run (the
+/// `dense_engine` bench and `tests/telemetry.rs` observe the transition
+/// counters) and still match both fixed modes bit for bit — plain,
+/// traced, and under medium sharding at workers {1, 2}.
+#[test]
+fn engines_agree_on_a_dense_cell() {
+    let cfg = table1_cfg(1000, 0xDE45E, 600);
+    assert_engines_agree("n=1000 dense", &cfg);
+
+    let adaptive = cfg.with_engine(EngineMode::Adaptive);
+    let st_base = StProtocol::run(&adaptive);
+    let fst_base = FstProtocol::run(&adaptive);
+    for workers in [1usize, 2] {
+        let sharded = adaptive
+            .clone()
+            .with_parallelism(Parallelism::Fixed(workers));
+        assert_eq!(
+            st_base,
+            StProtocol::run(&sharded),
+            "ST adaptive diverged under {workers} workers"
+        );
+        assert_eq!(
+            fst_base,
+            FstProtocol::run(&sharded),
+            "FST adaptive diverged under {workers} workers"
         );
     }
 }

@@ -3,15 +3,16 @@
 //!
 //! [`FastMedium`] caches mean link gains (path loss + shadowing — every
 //! position-determined term) in rows keyed `(sender, grid cell)`,
-//! valid while the world's mobility epoch and the medium's churn
-//! generation stand still; the per-slot fading draw stays outside the
-//! cache. A cached row is *the same `f64`s* the direct path computes
-//! (same batched kernel, same iteration order), so `GainCacheMode::Off`
-//! versus `Epoch` must agree **bit for bit** — including under churn,
-//! where joins/leaves flush the store mid-run.
+//! valid while the world's mobility epoch stands still and the row's
+//! membership stamp matches its sender's; the per-slot fading draw
+//! stays outside the cache. A cached row is *the same `f64`s* the
+//! direct path computes (same batched kernel, same iteration order), so
+//! `GainCacheMode::Off` versus `Epoch` must agree **bit for bit** —
+//! including under churn, where joins/leaves stale exactly the churned
+//! senders' rows mid-run.
 //!
 //! The harness locks that down across the full execution matrix (both
-//! protocols × both engines × medium workers {1, 4}) under a
+//! protocols × all three engines × medium workers {1, 4}) under a
 //! churn-heavy fault plan, asserting identical [`RunOutcome`]s and
 //! byte-identical JSONL traces; a proptest then drives the medium
 //! directly through random position updates, checking a warmed cache
@@ -74,7 +75,11 @@ fn gain_cache_is_outcome_neutral_across_the_matrix() {
     // Engines × workers on one churn-heavy cell; each arm runs both
     // protocols, plain and traced, under both cache modes.
     let base = churny_cfg(48, 0xCAC4E, 12_000);
-    for engine in [EngineMode::Stepped, EngineMode::EventDriven] {
+    for engine in [
+        EngineMode::Stepped,
+        EngineMode::EventDriven,
+        EngineMode::Adaptive,
+    ] {
         for workers in [1usize, 4] {
             let cfg = base
                 .clone()
@@ -83,6 +88,29 @@ fn gain_cache_is_outcome_neutral_across_the_matrix() {
             assert_cache_neutral(&format!("{engine:?}, workers={workers}"), &cfg);
         }
     }
+}
+
+#[test]
+fn narrow_churn_invalidation_keeps_the_cache_hot() {
+    // Churn stales only the churned senders' rows (per-row membership
+    // stamps), so a churn-heavy run must keep serving the untouched
+    // majority of the cache — under the old whole-store flush this
+    // cell's hit rate collapsed every join/leave.
+    let cfg = churny_cfg(96, 0xC0FFEE, 8_000);
+    let world = World::new(&cfg);
+    let mut rec = ffd2d::telemetry::Telemetry::new();
+    StProtocol::run_in_instrumented(&world, &mut ffd2d::trace::NullSink, &mut rec);
+    let churn = rec.counter("chaos.churn_events");
+    assert!(churn > 0, "the churn-heavy plan must actually churn");
+    let hits = rec.counter("medium.gain_cache_hits");
+    let misses = rec.counter("medium.gain_cache_misses");
+    assert!(hits + misses > 0, "the cell must exercise the cache");
+    let rate = hits as f64 / (hits + misses) as f64;
+    assert!(
+        rate > 0.95,
+        "churn-heavy hit rate degraded to {rate:.3} ({hits} hits / {misses} misses, \
+         {churn} churn events) — narrow invalidation regressed"
+    );
 }
 
 #[test]

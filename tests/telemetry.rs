@@ -1,7 +1,7 @@
 //! Telemetry guarantees: self-profiling never perturbs the simulation.
 //!
 //! * A recorded run's [`RunOutcome`] is bit-identical to an unrecorded
-//!   one — for both protocols, both engine modes, and sharded medium
+//!   one — for both protocols, all three engine modes, and sharded medium
 //!   resolution at several worker counts (telemetry reads the clock but
 //!   never an RNG stream or any protocol state).
 //! * With a trace sink attached as well, the JSONL bytes are identical
@@ -28,7 +28,11 @@ fn scenario(n: usize, seed: u64) -> ScenarioConfig {
 
 /// The full (protocol × engine × workers) matrix for one scenario.
 fn assert_outcome_neutral(cfg: &ScenarioConfig) {
-    for engine in [EngineMode::Stepped, EngineMode::EventDriven] {
+    for engine in [
+        EngineMode::Stepped,
+        EngineMode::EventDriven,
+        EngineMode::Adaptive,
+    ] {
         for workers in [1usize, 4] {
             let cfg = cfg
                 .clone()
@@ -79,8 +83,12 @@ proptest! {
     /// protocols on a small arena — the deterministic matrix above
     /// covers the worker axis; this adds seed diversity cheaply.
     #[test]
-    fn telemetry_neutrality_holds_for_arbitrary_seeds(seed in 0u64..1_000_000, event in any::<bool>()) {
-        let engine = if event { EngineMode::EventDriven } else { EngineMode::Stepped };
+    fn telemetry_neutrality_holds_for_arbitrary_seeds(seed in 0u64..1_000_000, mode in 0u8..3) {
+        let engine = match mode {
+            0 => EngineMode::Stepped,
+            1 => EngineMode::EventDriven,
+            _ => EngineMode::Adaptive,
+        };
         let cfg = ScenarioConfig::table1(20)
             .seeded(seed)
             .with_max_slots(SlotDuration(8_000))
