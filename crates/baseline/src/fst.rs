@@ -466,8 +466,8 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> FstEngine<'w, S, R, EV> {
                     },
                 );
             }
-            self.counters.fault_dropped_frames += fault_drops;
-            self.counters.fault_dup_frames += fault_dups;
+            self.counters.add_fault_dropped_frames(fault_drops);
+            self.counters.add_fault_dup_frames(fault_dups);
             if fault_drops > 0 {
                 self.rec.add("chaos.frames_dropped", fault_drops);
             }

@@ -14,6 +14,9 @@
 //!
 //! Helpers here keep the bench targets small and consistent.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use ffd2d_core::{ScenarioConfig, World};
 use ffd2d_sim::time::SlotDuration;
 

@@ -29,6 +29,7 @@
 //! [`StreamId::Chaos`]: ffd2d_sim::rng::StreamId::Chaos
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -272,9 +273,10 @@ impl FaultPlan {
             return FrameFate::Deliver;
         }
         let pair = ((sender as u64) << 32) | receiver as u64;
-        let z = SplitMix64::mix(key ^ SplitMix64::mix(slot ^ 0xC4A0_55ED) ^ SplitMix64::mix(pair));
-        // 53-bit mantissa → uniform in [0, 1).
-        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        // `FATE_SALT` domain-separates frame fates from every other
+        // keyed draw sharing the chaos key.
+        const FATE_SALT: u64 = 0xC4A0_55ED;
+        let u = SplitMix64::keyed_unit(key, slot ^ FATE_SALT, pair);
         if u < self.drop_prob {
             FrameFate::Drop
         } else if u < self.drop_prob + self.dup_prob {

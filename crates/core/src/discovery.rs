@@ -208,7 +208,9 @@ mod tests {
         assert_eq!(t.discovered(), 0);
         observe(&mut t, 3, -60.0, 3);
         assert_eq!(t.discovered(), 1);
-        let info = t.get(3).unwrap();
+        let Some(info) = t.get(3) else {
+            panic!("neighbour 3 missing after first observation")
+        };
         assert_eq!(info.weight_dbm, -60.0);
         assert_eq!(info.samples, 1);
         assert!(info.est_distance.0 > 0.0);
@@ -219,9 +221,12 @@ mod tests {
         let mut t = NeighborTable::new(10);
         observe(&mut t, 3, -60.0, 3);
         observe(&mut t, 3, -80.0, 3);
-        let w = t.get(3).unwrap().weight_dbm;
+        let Some(info) = t.get(3) else {
+            panic!("neighbour 3 missing after two observations")
+        };
+        let w = info.weight_dbm;
         assert!((w - (-65.0)).abs() < 1e-9, "got {w}");
-        assert_eq!(t.get(3).unwrap().samples, 2);
+        assert_eq!(info.samples, 2);
         assert_eq!(t.discovered(), 1);
     }
 
@@ -230,7 +235,10 @@ mod tests {
         // −60 dBm from 23 dBm tx: loss 83 dB → 40+40log d = 83 → ~11.9 m.
         let mut t = NeighborTable::new(4);
         observe(&mut t, 1, -60.0, 1);
-        let d = t.get(1).unwrap().est_distance.0;
+        let Some(info) = t.get(1) else {
+            panic!("neighbour 1 missing after observation")
+        };
+        let d = info.est_distance.0;
         assert!((d - 11.88).abs() < 0.05, "distance {d}");
     }
 
@@ -240,11 +248,13 @@ mod tests {
         observe(&mut t, 1, -50.0, 7); // strongest but same fragment
         observe(&mut t, 2, -70.0, 9);
         observe(&mut t, 3, -65.0, 9);
-        let best = t.best_outgoing(7).unwrap();
+        let Some(best) = t.best_outgoing(7) else {
+            panic!("fragment 7 should see an outgoing neighbour")
+        };
         assert_eq!(best.0, 3);
         assert!((best.1 - -65.0).abs() < 1e-12);
         // From fragment 9's perspective, node 1 is outgoing.
-        assert_eq!(t.best_outgoing(9).unwrap().0, 1);
+        assert_eq!(t.best_outgoing(9).map(|b| b.0), Some(1));
     }
 
     #[test]
@@ -260,7 +270,7 @@ mod tests {
         let mut t = NeighborTable::new(10);
         observe(&mut t, 4, -60.0, 1);
         observe(&mut t, 2, -60.0, 1);
-        assert_eq!(t.best_outgoing(0).unwrap().0, 2);
+        assert_eq!(t.best_outgoing(0).map(|b| b.0), Some(2));
     }
 
     #[test]
@@ -269,10 +279,12 @@ mod tests {
         t.observe_fire(1, Dbm(-50.0), ServiceClass::new(0), 1, Slot(100), &PL, TX);
         t.observe_fire(2, Dbm(-70.0), ServiceClass::new(0), 2, Slot(900), &PL, TX);
         // At slot 1000 with a 300-slot window, only neighbour 2 counts.
-        let best = t.best_outgoing_fresh(0, Slot(1000), 300).unwrap();
+        let Some(best) = t.best_outgoing_fresh(0, Slot(1000), 300) else {
+            panic!("fresh neighbour 2 should survive the 300-slot window")
+        };
         assert_eq!(best.0, 2);
         // The unbounded variant still sees the stronger stale entry.
-        assert_eq!(t.best_outgoing(0).unwrap().0, 1);
+        assert_eq!(t.best_outgoing(0).map(|b| b.0), Some(1));
         // Everything stale -> none.
         assert!(t.best_outgoing_fresh(0, Slot(10_000), 300).is_none());
     }
@@ -282,7 +294,7 @@ mod tests {
         let mut t = NeighborTable::new(5);
         observe(&mut t, 1, -50.0, 1);
         t.update_fragment(1, 99);
-        assert_eq!(t.get(1).unwrap().fragment, 99);
+        assert_eq!(t.get(1).map(|i| i.fragment), Some(99));
         assert!(t.best_outgoing(99).is_none());
         // Updating an unknown neighbour is a no-op.
         t.update_fragment(2, 5);

@@ -39,7 +39,7 @@
 //!   adopting tree links implied by received floods.
 
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ffd2d_chaos::{ChurnEvent, ChurnKind, FaultPlan, FrameFate};
 use ffd2d_osc::prc::Prc;
@@ -252,8 +252,11 @@ struct MState {
     /// Pending foreign requests awaiting head grants.
     foreign: Vec<(DeviceId, DeviceId, u32)>, // (requester, req_fragment, req_size)
     /// Breadcrumbs for routing `GrantResp` back down, keyed by
-    /// (origin, requester).
-    grant_route: HashMap<(DeviceId, DeviceId), DeviceId>,
+    /// (origin, requester). Ordered map: only point lookups today, but
+    /// the route table is protocol state — keeping it order-stable
+    /// means any future iteration (debug dumps, invariant sweeps)
+    /// cannot introduce hash-order nondeterminism.
+    grant_route: BTreeMap<(DeviceId, DeviceId), DeviceId>,
 }
 
 impl MState {
@@ -285,7 +288,7 @@ impl Default for MState {
             granted_foreign: false,
             initiated: false,
             foreign: Vec::new(),
-            grant_route: HashMap::new(),
+            grant_route: BTreeMap::new(),
         }
     }
 }
@@ -435,7 +438,7 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
         let seed = cfg.sim.seed;
         let beacon_offset: Vec<u64> = {
             let period = cfg.protocol.period_slots as u64;
-            let mut rng = StreamRng::with_raw_stream(seed, 0, 0xBEAC);
+            let mut rng = StreamRng::new(seed, 0, StreamId::MergeBeacons);
             (0..n).map(|_| rng.gen_range(0..period)).collect()
         };
         let beacon_residues = {
@@ -535,7 +538,7 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
     }
 
     fn send(&mut self, from: DeviceId, to: DeviceId, msg: Msg) {
-        self.counters.unicast_tx += 1;
+        self.counters.add_unicast_tx(1);
         self.outbox.push((from, to, msg));
     }
 
@@ -711,6 +714,7 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
         } else {
             let parent = self.devices[v as usize]
                 .parent
+                // ffd2d-lint: allow(panic-discipline) — GHS round invariant: every non-head carries a parent edge by construction (set when the fragment formed); silently skipping the report would corrupt the round, so violation must abort
                 .expect("non-head device must have a parent during a round");
             self.send(
                 v,
@@ -992,7 +996,7 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
                             head,
                             fragment_size,
                         );
-                        self.counters.rach2_tx += 1;
+                        self.counters.add_rach2_tx(1);
                         if S::ENABLED {
                             // Out-of-band RACH2 handshake frame (no
                             // medium contention modelled): traced so the
@@ -1083,7 +1087,7 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
             fragment_size: self.m[v as usize].frag_size,
             head: d.head,
         };
-        self.counters.rach2_tx += 1;
+        self.counters.add_rach2_tx(1);
         if S::ENABLED {
             // See the `Finalize` send: out-of-band RACH2 frames are
             // traced too, keeping timeline and counter tallies equal.
@@ -1686,8 +1690,8 @@ impl<'w, S: TraceSink, R: Recorder, const EV: bool> Engine<'w, S, R, EV> {
                 },
             );
         }
-        self.counters.fault_dropped_frames += fault_drops;
-        self.counters.fault_dup_frames += fault_dups;
+        self.counters.add_fault_dropped_frames(fault_drops);
+        self.counters.add_fault_dup_frames(fault_dups);
         if fault_drops > 0 {
             self.rec.add("chaos.frames_dropped", fault_drops);
         }

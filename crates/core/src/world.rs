@@ -120,6 +120,7 @@ pub struct World {
 impl World {
     /// Instantiate the world for `cfg` (deterministic in `cfg.sim.seed`).
     pub fn new(cfg: &ScenarioConfig) -> World {
+        // ffd2d-lint: allow(panic-discipline) — constructor precondition: an invalid scenario must abort at startup, before any trial state exists; this never runs in the per-slot path
         cfg.validate().expect("invalid scenario");
         let seed = cfg.sim.seed;
         let n = cfg.sim.n_devices;
@@ -148,9 +149,10 @@ impl World {
             pathloss: cfg.channel.pathloss,
             // Mirrors `Channel::new` exactly, so on-demand means are
             // bit-identical to `Channel::mean_rx_power`.
+            // ffd2d-lint: allow(rng-discipline) — domain-separation tags mirroring Channel::new byte for byte; routing through a helper would decouple the two copies the comment above ties together
             shadowing: ShadowingField::new(seed ^ 0x5AD0, cfg.channel.shadowing_sigma_db),
             fading: cfg.channel.fading,
-            fading_seed: seed ^ 0xFAD0,
+            fading_seed: seed ^ 0xFAD0, // ffd2d-lint: allow(rng-discipline) — same Channel::new mirror as the shadowing tag above
             threshold_dbm: cfg.channel.detection_threshold.get(),
             capture_margin_db: 6.0,
             fade_headroom_db: cfg.channel.fade_headroom_db(),
@@ -352,6 +354,7 @@ struct GainCache {
     valid_for: u64,
     /// `(sender << 32) | cell` → index into `rows`. Lookup-only (never
     /// iterated), so map order cannot leak into results.
+    // ffd2d-lint: allow(ordered-iteration) — lookup-only by construction: the only reads are `get` in row_for/publish; no iteration exists for hash order to escape through
     index: HashMap<u64, u32>,
     rows: Vec<Vec<f64>>,
     /// Per-row membership stamp, parallel to `rows`: the sender's
@@ -465,6 +468,7 @@ struct ShardScratch {
     fill_rows: Vec<Vec<f64>>,
     /// Per-slot dedup of local fills (the same sender can post two
     /// transmissions into one cell in one slot). Cleared on publish.
+    // ffd2d-lint: allow(ordered-iteration) — lookup-only dedup map; publish drains the parallel `fill_keys`/`fill_rows` vectors (insertion order), never this map's iteration order
     fill_index: HashMap<u64, u32>,
     /// Above-threshold (detected) pairs seen this slot.
     detected: u64,
@@ -517,6 +521,7 @@ impl ShardScratch {
             touched: Vec::with_capacity(64),
             fill_keys: Vec::new(),
             fill_rows: Vec::new(),
+            // ffd2d-lint: allow(ordered-iteration) — see the field's proof comment: lookup-only dedup map
             fill_index: HashMap::new(),
             detected: 0,
             busy_ns: 0,
@@ -648,6 +653,7 @@ impl ShardScratch {
                 } else if let Some(&i) = self.fill_index.get(&key) {
                     RowRef::Local(i)
                 } else {
+                    // ffd2d-lint: allow(wall-clock) — telemetry-gated fill-kernel timing; compiled out under NullRecorder, feeds metrics only
                     let t0 = TELEM.then(Instant::now);
                     let mut filled = Vec::new();
                     ctx.world.fill_mean_rx_dbm(sender, items, &mut filled);
@@ -889,8 +895,8 @@ impl FastMedium {
         let mut distinct_senders = 0u64;
         for tx in transmissions {
             match tx.codec() {
-                RachCodec::Rach1 => counters.rach1_tx += 1,
-                RachCodec::Rach2 => counters.rach2_tx += 1,
+                RachCodec::Rach1 => counters.add_rach1_tx(1),
+                RachCodec::Rach2 => counters.add_rach2_tx(1),
             }
             if S::ENABLED {
                 sink.event(&TraceEvent::Tx {
@@ -986,6 +992,7 @@ impl FastMedium {
                 &self.cell_weights,
                 &mut self.shards[..workers],
                 |_, cells, shard| {
+                    // ffd2d-lint: allow(wall-clock) — recorder-gated shard busy-window; this closure only runs when R::ENABLED and writes telemetry fields alone
                     let t0 = Instant::now();
                     shard.accumulate::<true>(&ctx, cells);
                     shard.busy_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -1060,7 +1067,7 @@ impl FastMedium {
         };
         let receivers = population - distinct_senders;
         let below_threshold = transmissions.len() as u64 * receivers - detected;
-        counters.rx_below_threshold += below_threshold;
+        counters.add_rx_below_threshold(below_threshold);
         if S::ENABLED && below_threshold > 0 {
             sink.event(&TraceEvent::RxBelowThreshold {
                 slot: slot.0,
@@ -1083,8 +1090,8 @@ impl FastMedium {
                 shard.best[k] >= shard.second[k] + world.capture_margin_db
             };
             if decoded {
-                counters.rx_ok += 1;
-                counters.rx_collision += (n_signals - 1) as u64;
+                counters.add_rx_ok(1);
+                counters.add_rx_collision((n_signals - 1) as u64);
                 let sig = transmissions[shard.best_tx[k] as usize];
                 if S::ENABLED {
                     sink.event(&TraceEvent::RxDecode {
@@ -1105,7 +1112,7 @@ impl FastMedium {
                 }
                 deliver(receiver, &sig, shard.best[k], sink);
             } else {
-                counters.rx_collision += n_signals as u64;
+                counters.add_rx_collision(n_signals as u64);
                 if S::ENABLED {
                     let codec = if k.is_multiple_of(2) {
                         ffd2d_trace::Codec::Rach1

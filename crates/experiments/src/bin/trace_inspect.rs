@@ -86,13 +86,19 @@ fn main() -> ExitCode {
                 current_phase = phase.name().to_string();
                 phases.entry(current_phase.clone()).or_default();
             }
+            // Saturating like `Counters`: tallies over an arbitrarily
+            // long trace must clamp rather than wrap.
             TraceEvent::Tx { codec, .. } => match codec {
-                ffd2d_trace::Codec::Rach1 => tally.rach1_tx += 1,
-                ffd2d_trace::Codec::Rach2 => tally.rach2_tx += 1,
+                ffd2d_trace::Codec::Rach1 => tally.rach1_tx = tally.rach1_tx.saturating_add(1),
+                ffd2d_trace::Codec::Rach2 => tally.rach2_tx = tally.rach2_tx.saturating_add(1),
             },
-            TraceEvent::RxDecode { .. } => tally.rx_ok += 1,
-            TraceEvent::RxCollision { signals, .. } => tally.rx_collision += u64::from(*signals),
-            TraceEvent::RxBelowThreshold { count, .. } => tally.rx_below_threshold += count,
+            TraceEvent::RxDecode { .. } => tally.rx_ok = tally.rx_ok.saturating_add(1),
+            TraceEvent::RxCollision { signals, .. } => {
+                tally.rx_collision = tally.rx_collision.saturating_add(u64::from(*signals))
+            }
+            TraceEvent::RxBelowThreshold { count, .. } => {
+                tally.rx_below_threshold = tally.rx_below_threshold.saturating_add(*count)
+            }
             TraceEvent::PhaseAdjust { .. } => tally.phase_adjusts += 1,
             TraceEvent::MergeRequest { .. } => tally.merge_requests += 1,
             TraceEvent::MergeAccept { .. } => tally.merge_accepts += 1,

@@ -1,0 +1,114 @@
+//! `ffd2d-lint` CLI — scan the workspace for determinism-invariant
+//! violations.
+//!
+//! ```text
+//! ffd2d-lint [--root DIR] [--json] [--json-out FILE] [--deny] [FILES…]
+//! ```
+//!
+//! * `--root DIR`     workspace root to scan (default: `.`, walking up
+//!   to the first directory containing `crates/` if needed)
+//! * `--json`         print the machine-readable report to stdout
+//! * `--json-out F`   additionally write the JSON report to `F`
+//!   (published as a CI artifact on failure)
+//! * `--deny`         exit 2 when any unsuppressed finding remains
+//! * `FILES…`         scan only these files (fixture/debug use) instead
+//!   of the whole workspace
+//!
+//! Exit codes: 0 clean (or findings without `--deny`), 2 findings under
+//! `--deny`, 1 usage or I/O error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => json = true,
+            "--json-out" => match args.next() {
+                Some(f) => json_out = Some(PathBuf::from(f)),
+                None => return usage("--json-out needs a path"),
+            },
+            "--deny" => deny = true,
+            "--help" | "-h" => {
+                eprintln!("ffd2d-lint [--root DIR] [--json] [--json-out FILE] [--deny] [FILES…]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag {other}"));
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+
+    // Walk up from `root` to the workspace root if invoked from a
+    // member crate (cargo run sets cwd to the invocation dir).
+    if files.is_empty() && !root.join("crates").is_dir() {
+        let mut probe = root.canonicalize().unwrap_or_else(|_| root.clone());
+        while !probe.join("crates").is_dir() {
+            let Some(parent) = probe.parent() else { break };
+            probe = parent.to_path_buf();
+        }
+        if probe.join("crates").is_dir() {
+            root = probe;
+        }
+    }
+
+    let report = if files.is_empty() {
+        ffd2d_lint::scan_workspace(&root)
+    } else {
+        ffd2d_lint::scan_files(&root, &files)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ffd2d-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("ffd2d-lint: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        println!(
+            "ffd2d-lint: {} finding(s), {} file(s) scanned, {} allow(s) in use",
+            report.findings.len(),
+            report.files_scanned,
+            report.allows_used
+        );
+    }
+
+    if deny && !report.is_clean() {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ffd2d-lint: {msg}");
+    eprintln!("usage: ffd2d-lint [--root DIR] [--json] [--json-out FILE] [--deny] [FILES…]");
+    ExitCode::FAILURE
+}

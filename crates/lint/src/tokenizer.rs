@@ -1,0 +1,385 @@
+//! Lightweight Rust lexer for the lint passes.
+//!
+//! Produces identifier / punctuation / literal tokens tagged with line
+//! numbers; comments and string *contents* are stripped so rule passes
+//! can match token sequences without being fooled by prose. Line
+//! comments are additionally searched for `ffd2d-lint: allow(...)`
+//! suppression directives.
+//!
+//! This is deliberately not a full lexer — just enough of one to stay
+//! honest about strings (including raw strings), nested block comments,
+//! char literals vs. lifetimes, and multi-char operators the rules care
+//! about (`::`, `+=`, `-=`, `->`).
+
+use std::collections::BTreeMap;
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token text. Literals are normalized: every string collapses to
+    /// `""`, every char literal to `''`; numbers keep their digits.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A parsed `// ffd2d-lint: allow(rule, …) — reason` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// Rules the directive suppresses.
+    pub rules: Vec<String>,
+    /// Whether a non-empty reason string follows the rule list.
+    pub has_reason: bool,
+    /// Set by the rule passes when the directive suppresses a finding.
+    pub used: bool,
+}
+
+/// Marker the suppression comments carry.
+pub const DIRECTIVE_TAG: &str = "ffd2d-lint:";
+
+/// Tokenize `text`; returns the token stream and any allow directives
+/// keyed by the line their comment sits on.
+pub fn tokenize(text: &str) -> (Vec<Tok>, BTreeMap<u32, AllowDirective>) {
+    let bytes = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut allows = BTreeMap::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < bytes.len() {
+        let c = match text[i..].chars().next() {
+            Some(c) => c,
+            None => break,
+        };
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += c.len_utf8(),
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = memchr_newline(bytes, i);
+                // Directives live in plain `//` comments only — doc
+                // comments (`///`, `//!`) merely *describe* the syntax.
+                let doc = matches!(bytes.get(i + 2), Some(b'/') | Some(b'!'));
+                if !doc {
+                    if let Some(d) = parse_directive(&text[i..end]) {
+                        allows.insert(line, d);
+                    }
+                }
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i = skip_string(bytes, i, &mut line);
+                toks.push(Tok {
+                    text: "\"\"".into(),
+                    line,
+                });
+            }
+            'r' | 'b' if starts_raw_or_byte_string(bytes, i) => {
+                i = skip_raw_or_byte_string(bytes, i, &mut line);
+                toks.push(Tok {
+                    text: "\"\"".into(),
+                    line,
+                });
+            }
+            '\'' => {
+                // Char literal or lifetime. A char literal closes with a
+                // `'` within a couple of chars (`'x'`, `'\n'`, `'\u{..}'`);
+                // a lifetime never closes.
+                if let Some(end) = char_literal_end(text, i) {
+                    toks.push(Tok {
+                        text: "''".into(),
+                        line,
+                    });
+                    i = end;
+                } else {
+                    // Lifetime: consume the quote + identifier.
+                    i += 1;
+                    while i < bytes.len() && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            c if c == '_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    text: text[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (is_ident_continue(bytes[i])
+                        || (bytes[i] == b'.'
+                            && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())))
+                {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    text: text[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                // Punctuation; join the few multi-char operators the
+                // rules match on. Non-ASCII chars (legal only inside
+                // comments/strings/idents in real Rust) pass through as
+                // single opaque tokens.
+                let len = if c.is_ascii() {
+                    let two = &bytes[i..(i + 2).min(bytes.len())];
+                    let joined = matches!(
+                        two,
+                        b"::"
+                            | b"+="
+                            | b"-="
+                            | b"*="
+                            | b"/="
+                            | b"^="
+                            | b"|="
+                            | b"&="
+                            | b"->"
+                            | b"=>"
+                    );
+                    if joined {
+                        2
+                    } else {
+                        1
+                    }
+                } else {
+                    c.len_utf8()
+                };
+                toks.push(Tok {
+                    text: text[i..i + len].to_string(),
+                    line,
+                });
+                i += len;
+            }
+        }
+    }
+    (toks, allows)
+}
+
+fn memchr_newline(bytes: &[u8], from: usize) -> usize {
+    bytes[from..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|p| from + p)
+        .unwrap_or(bytes.len())
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || (b as char).is_ascii_alphanumeric()
+}
+
+/// Skip a normal (possibly `b`-prefixed) string starting at the `"`.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Does `r…` / `b…` at `i` start a raw or byte string (`r"`, `r#"`,
+/// `br"`, `b"`, …)? Otherwise it's an ordinary identifier.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'r' {
+        j += 1;
+        while j < bytes.len() && bytes[j] == b'#' {
+            j += 1;
+        }
+    }
+    j > i && j < bytes.len() && bytes[j] == b'"'
+}
+
+/// Skip a raw/byte string starting at its `r`/`b` prefix.
+fn skip_raw_or_byte_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    let raw = i < bytes.len() && bytes[i] == b'r';
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert!(i < bytes.len() && bytes[i] == b'"');
+    if !raw {
+        return skip_string(bytes, i, line);
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < bytes.len() && bytes[j] == b'#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// If `'` at `i` opens a char literal, return the byte index just past
+/// its closing quote; `None` means it's a lifetime.
+fn char_literal_end(text: &str, i: usize) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let next = text[i + 1..].chars().next()?;
+    if next == '\\' {
+        // Escape: find the closing quote within a small window
+        // (`'\u{10FFFF}'` is the longest).
+        let mut j = i + 2;
+        let limit = (i + 12).min(bytes.len());
+        while j < limit {
+            if bytes[j] == b'\'' {
+                return Some(j + 1);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // `'x'` — any single char (possibly multi-byte) then a quote.
+    let after = i + 1 + next.len_utf8();
+    if next != '\'' && bytes.get(after) == Some(&b'\'') {
+        return Some(after + 1);
+    }
+    None
+}
+
+/// Parse a `ffd2d-lint: allow(a, b) — reason` directive out of a line
+/// comment's text, if present.
+fn parse_directive(comment: &str) -> Option<AllowDirective> {
+    let at = comment.find(DIRECTIVE_TAG)?;
+    let rest = comment[at + DIRECTIVE_TAG.len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return None;
+    }
+    let tail = rest[close + 1..].trim_start();
+    let reason = tail
+        .strip_prefix("—")
+        .or_else(|| tail.strip_prefix("--"))
+        .or_else(|| tail.strip_prefix('-'))
+        .or_else(|| tail.strip_prefix('–'))
+        .map(str::trim)
+        .unwrap_or("");
+    Some(AllowDirective {
+        rules,
+        has_reason: !reason.is_empty(),
+        used: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).0.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let t = texts("let x = \"HashMap in a string\"; // HashMap in a comment\n/* Instant */ y");
+        assert!(t.contains(&"x".to_string()));
+        assert!(t.contains(&"\"\"".to_string()));
+        assert!(!t.contains(&"HashMap".to_string()));
+        assert!(!t.contains(&"Instant".to_string()));
+        assert!(t.contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let t = texts("r#\"Instant::now()\"# 'a' '\\n' fn f<'a>(x: &'a str) {}");
+        assert!(!t.contains(&"Instant".to_string()));
+        assert_eq!(t.iter().filter(|s| *s == "''").count(), 2);
+        assert!(t.contains(&"f".to_string()));
+        assert!(!t.iter().any(|s| s == "a" || s == "'a"));
+    }
+
+    #[test]
+    fn multi_char_ops_join() {
+        let t = texts("a += 1; b::c(); d -> e");
+        assert!(t.contains(&"+=".to_string()));
+        assert!(t.contains(&"::".to_string()));
+        assert!(t.contains(&"->".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let (toks, _) = tokenize("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn directive_parsing() {
+        let (_, allows) =
+            tokenize("// ffd2d-lint: allow(wall-clock) — recorder-gated timing\nlet x = 1;\n");
+        let d = allows.get(&1).expect("directive on line 1");
+        assert_eq!(d.rules, vec!["wall-clock".to_string()]);
+        assert!(d.has_reason);
+
+        let (_, allows) = tokenize("// ffd2d-lint: allow(panic-discipline)\nx();\n");
+        assert!(!allows.get(&1).unwrap().has_reason);
+
+        let (_, allows) = tokenize("// ffd2d-lint: allow(a, b) -- two rules\n");
+        assert_eq!(allows.get(&1).unwrap().rules.len(), 2);
+    }
+}

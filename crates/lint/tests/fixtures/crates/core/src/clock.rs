@@ -1,0 +1,9 @@
+//! Seeded `wall-clock` violation: reading the wall clock in a
+//! deterministic crate.
+
+use std::time::Instant;
+
+pub fn elapsed_ns() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

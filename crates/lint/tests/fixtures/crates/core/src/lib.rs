@@ -1,0 +1,6 @@
+//! Fixture crate root: carries both required headers, so the hygiene
+//! rule stays quiet and the seeded violations in the sibling files are
+//! the only findings this crate produces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

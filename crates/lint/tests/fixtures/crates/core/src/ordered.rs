@@ -1,0 +1,8 @@
+//! Seeded `ordered-iteration` violation: a hash map declared in a
+//! deterministic crate with no justification.
+
+use std::collections::HashMap;
+
+pub struct Index {
+    pub map: HashMap<u64, u32>,
+}

@@ -1,0 +1,6 @@
+//! Seeded `rng-discipline` violation: ad-hoc seed arithmetic outside
+//! `ffd2d_sim::rng`.
+
+pub fn derive(seed: u64) -> u64 {
+    seed ^ 0xBEEF
+}

@@ -1,0 +1,6 @@
+//! Seeded `panic-discipline` violation: the file name matches an
+//! engine hot path, so the bare unwrap below must be flagged.
+
+pub fn parent_of(p: Option<u32>) -> u32 {
+    p.unwrap()
+}

@@ -1,0 +1,10 @@
+//! Seeded `counter-discipline` violation: a raw `+=` on a counter
+//! field instead of the saturating helper.
+
+pub struct Counters {
+    pub rx_ok: u64,
+}
+
+pub fn bump(c: &mut Counters) {
+    c.rx_ok += 1;
+}

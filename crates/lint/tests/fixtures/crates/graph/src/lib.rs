@@ -1,0 +1,4 @@
+//! Seeded `crate-hygiene` violation: this crate root carries the docs
+//! lint but omits the mandatory unsafe-forbid attribute.
+
+#![warn(missing_docs)]

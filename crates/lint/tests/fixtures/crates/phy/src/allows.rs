@@ -1,0 +1,10 @@
+//! A correctly-justified suppression: the violation below is covered
+//! by an allow with a reason, so it must NOT be reported — but it must
+//! show up in the report's `allows_used` tally.
+
+use std::time::Instant;
+
+pub fn timed() -> Instant {
+    // ffd2d-lint: allow(wall-clock) — fixture: stands in for recorder-gated timing
+    Instant::now()
+}

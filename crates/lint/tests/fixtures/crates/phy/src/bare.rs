@@ -1,0 +1,7 @@
+//! Seeded `bare-allow` violation: the suppression works, but it
+//! carries no reason string, so the meta rule flags it.
+
+pub struct S {
+    // ffd2d-lint: allow(ordered-iteration)
+    pub m: std::collections::HashMap<u64, u32>,
+}

@@ -1,0 +1,5 @@
+// ffd2d-lint: allow(rng-discipline) — fixture: stale suppression covering nothing
+//! Seeded `unused-allow` violation: the directive above suppresses
+//! nothing, so the meta rule flags it as a hole in the audit trail.
+
+pub fn nothing() {}

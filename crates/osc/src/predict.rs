@@ -16,7 +16,7 @@
 //! phases, PRC-advanced mesh phases) simply fall back to literal
 //! ticking until their next reset.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[cfg(test)]
 use crate::oscillator::PhaseOscillator;
@@ -62,8 +62,10 @@ pub struct TrajectoryCache {
     period_slots: u32,
     trajs: Vec<Trajectory>,
     /// Starting-phase bits → trajectory index. Trajectory 0 is the
-    /// post-fire ramp from phase `0.0`.
-    starts: HashMap<u64, u32>,
+    /// post-fire ramp from phase `0.0`. Ordered map: the reset
+    /// vocabulary is tiny, and an order-stable container keeps any
+    /// future iteration over registered starts deterministic.
+    starts: BTreeMap<u64, u32>,
 }
 
 impl TrajectoryCache {
@@ -74,7 +76,7 @@ impl TrajectoryCache {
         let mut cache = TrajectoryCache {
             period_slots,
             trajs: Vec::new(),
-            starts: HashMap::new(),
+            starts: BTreeMap::new(),
         };
         cache.register_start(0.0);
         cache

@@ -16,7 +16,7 @@
 //! does not change.
 
 use ffd2d_metrics::Summary;
-use ffd2d_sim::rng::SplitMix64;
+use ffd2d_sim::rng::sweep_cell_seed;
 use serde::{Deserialize, Serialize};
 
 use crate::pool::parallel_map_with_workers;
@@ -56,14 +56,10 @@ impl TrialCtx {
     /// 0 of a node count with tracing enabled) under the exact seed the
     /// sweep used.
     pub fn new(cfg: &SweepConfig, param_index: usize, trial: u32) -> TrialCtx {
-        let k0 = SplitMix64::mix(
-            cfg.master_seed ^ (param_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
-        let seed = SplitMix64::mix(k0 ^ (trial as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
         TrialCtx {
             param_index,
             trial,
-            seed,
+            seed: sweep_cell_seed(cfg.master_seed, param_index as u64, trial as u64),
         }
     }
 }

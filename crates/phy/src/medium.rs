@@ -124,10 +124,12 @@ impl PreparedSlot {
         let mut by_codec: [Vec<Transmission>; 2] = [Vec::new(), Vec::new()];
         let mut senders_by_codec: [Vec<DeviceId>; 2] = [Vec::new(), Vec::new()];
         for &tx in transmissions {
-            let ci = RachCodec::ALL
-                .iter()
-                .position(|&c| c == tx.codec())
-                .expect("codec is in ALL");
+            // Indexing follows `RachCodec::ALL` order; a match can't miss
+            // a codec, so no fallible lookup in the per-slot hot path.
+            let ci = match tx.codec() {
+                RachCodec::Rach1 => 0,
+                RachCodec::Rach2 => 1,
+            };
             by_codec[ci].push(tx);
             senders_by_codec[ci].push(tx.sender());
         }
@@ -243,8 +245,8 @@ impl Medium {
         // Tally transmissions by codec.
         for tx in transmissions {
             match tx.codec() {
-                RachCodec::Rach1 => counters.rach1_tx += 1,
-                RachCodec::Rach2 => counters.rach2_tx += 1,
+                RachCodec::Rach1 => counters.add_rach1_tx(1),
+                RachCodec::Rach2 => counters.add_rach2_tx(1),
             }
             if S::ENABLED {
                 sink.event(&TraceEvent::Tx {
@@ -280,6 +282,7 @@ impl Medium {
             shards.resize_with(workers, RxShard::default);
             sharded_for_each(receivers, &mut shards, |_, chunk, shard| {
                 let t0 = if R::ENABLED {
+                    // ffd2d-lint: allow(wall-clock) — recorder-gated shard timing; feeds telemetry only, never protocol state or RNG, and the NullRecorder build compiles it out entirely
                     Some(Instant::now())
                 } else {
                     None
@@ -394,13 +397,13 @@ impl Medium {
                     if rx_power >= threshold {
                         audible.push((rx_power.get(), tx));
                     } else {
-                        counters.rx_below_threshold += 1;
+                        counters.add_rx_below_threshold(1);
                     }
                 }
                 match audible.len() {
                     0 => {}
                     1 => {
-                        counters.rx_ok += 1;
+                        counters.add_rx_ok(1);
                         if S::ENABLED {
                             sink.event(&TraceEvent::RxDecode {
                                 slot: slot.0,
@@ -414,11 +417,17 @@ impl Medium {
                     }
                     _ => {
                         // Capture check: strongest vs runner-up.
-                        audible.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("power is never NaN"));
+                        // `unwrap_or(Equal)` is unreachable (powers are
+                        // finite dBm, never NaN) and, when both compare
+                        // paths exist, bit-identical to the panicking
+                        // sort for every non-NaN input.
+                        audible.sort_by(|a, b| {
+                            b.0.partial_cmp(&a.0).unwrap_or(core::cmp::Ordering::Equal)
+                        });
                         let margin = audible[0].0 - audible[1].0;
                         if margin >= self.config.capture_margin.get() {
-                            counters.rx_ok += 1;
-                            counters.rx_collision += (audible.len() - 1) as u64;
+                            counters.add_rx_ok(1);
+                            counters.add_rx_collision((audible.len() - 1) as u64);
                             if S::ENABLED {
                                 sink.event(&TraceEvent::RxDecode {
                                     slot: slot.0,
@@ -436,7 +445,7 @@ impl Medium {
                             }
                             report.decoded.push(audible[0].1.signal);
                         } else {
-                            counters.rx_collision += audible.len() as u64;
+                            counters.add_rx_collision(audible.len() as u64);
                             if S::ENABLED {
                                 sink.event(&TraceEvent::RxCollision {
                                     slot: slot.0,

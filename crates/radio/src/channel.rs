@@ -174,12 +174,13 @@ pub struct Channel<'a> {
 impl<'a> Channel<'a> {
     /// Build the channel for `deployment` keyed by `seed`.
     pub fn new(deployment: &'a Deployment, config: ChannelConfig, seed: u64) -> Self {
+        // ffd2d-lint: allow(rng-discipline) — domain-separation tags splitting the channel seed into the shadowing and fading field keys; World::new mirrors these byte for byte (see crates/core/src/world.rs)
         let shadowing = ShadowingField::new(seed ^ 0x5AD0, config.shadowing_sigma_db);
         Channel {
             deployment,
             config,
             shadowing,
-            fading_seed: seed ^ 0xFAD0,
+            fading_seed: seed ^ 0xFAD0, // ffd2d-lint: allow(rng-discipline) — same split as the shadowing tag above
         }
     }
 

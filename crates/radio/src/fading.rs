@@ -80,8 +80,9 @@ impl FadingModel {
                 let (lo, hi) = ordered(a, b);
                 let block = self.block(slot);
                 let key = link_block_key(lo, hi, block);
+                // ffd2d-lint: allow(rng-discipline) — stateless keyed field sampler: a pure function of (seed, link, block) that consumes no stream, so evaluation order cannot matter; the tags separate the two quadrature components
                 let re = standard_normal(seed ^ 0x51C1_A0B4, key);
-                let im = standard_normal(seed ^ 0x1C1A_77EE, key ^ 0xABCD);
+                let im = standard_normal(seed ^ 0x1C1A_77EE, key ^ 0xABCD); // ffd2d-lint: allow(rng-discipline) — second quadrature tag of the draw above
                 let scatter = 1.0 / (k + 1.0);
                 let los = (k / (k + 1.0)).sqrt();
                 let h_re = los + re * (scatter / 2.0).sqrt();
@@ -125,6 +126,7 @@ impl FadingModel {
         let (lo, hi) = ordered(a, b);
         let block = self.block(slot);
         let key = link_block_key(lo, hi, block);
+        // ffd2d-lint: allow(rng-discipline) — stateless keyed field sampler (pure in (seed, link, block)); the constant domain-separates Rayleigh draws from the Rician quadratures
         let u = to_unit_open(SplitMix64::mix(seed ^ 0xFAD1_4EED ^ key));
         // Inverse-CDF of Exp(1); clamp to avoid -inf dB in the tail.
         (-u.ln()).max(1e-12)
@@ -143,6 +145,7 @@ fn ordered(a: DeviceId, b: DeviceId) -> (DeviceId, DeviceId) {
 #[inline]
 fn link_block_key(lo: DeviceId, hi: DeviceId, block: u64) -> u64 {
     let link = ((lo as u64) << 32) | hi as u64;
+    // ffd2d-lint: allow(rng-discipline) — key derivation for the stateless field samplers above, not a stream seed; symmetric in the link by the caller's (lo, hi) ordering
     SplitMix64::mix(link).wrapping_add(block.wrapping_mul(0x2545_F491_4F6C_DD1D))
 }
 

@@ -66,6 +66,7 @@ impl ShadowingField {
         }
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let key = ((lo as u64) << 32) | hi as u64;
+        // ffd2d-lint: allow(rng-discipline) — stateless keyed field sampler: one fixed draw per link for the whole trial, pure in (seed, link); the tag domain-separates shadowing from fading draws
         Db(self.sigma_db * standard_normal(self.seed ^ 0x5AD0_11E5, key))
     }
 }
@@ -88,8 +89,9 @@ pub fn max_abs_standard_normal() -> f64 {
 /// Uses two SplitMix64-mixed uniforms through the Box–Muller transform.
 /// Exposed for reuse by the fading model.
 pub(crate) fn standard_normal(seed: u64, key: u64) -> f64 {
+    // ffd2d-lint: allow(rng-discipline) — the workspace's one Box–Muller kernel: stateless avalanche mixing of (seed, key), no stream constructed or advanced; `max_abs_standard_normal` proves its bound
     let u0 = SplitMix64::mix(seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let u1 = SplitMix64::mix(u0 ^ 0xD134_2543_DE82_EF95);
+    let u1 = SplitMix64::mix(u0 ^ 0xD134_2543_DE82_EF95); // ffd2d-lint: allow(rng-discipline) — second uniform of the same Box–Muller pair
     let (a, b) = (to_unit_open(u0), to_unit_open(u1));
     (-2.0 * a.ln()).sqrt() * (2.0 * core::f64::consts::PI * b).cos()
 }

@@ -75,6 +75,57 @@ impl Counters {
         }
     }
 
+    /// Record `n` RACH1 broadcasts. Saturating, like every tally bump:
+    /// a wrapped counter would silently corrupt Fig. 4 aggregates, so
+    /// raw `+=` on tally fields is banned (enforced by `ffd2d-lint`'s
+    /// `counter-discipline` rule) in favour of these helpers.
+    #[inline]
+    pub fn add_rach1_tx(&mut self, n: u64) {
+        self.rach1_tx = self.rach1_tx.saturating_add(n);
+    }
+
+    /// Record `n` RACH2 broadcasts (saturating).
+    #[inline]
+    pub fn add_rach2_tx(&mut self, n: u64) {
+        self.rach2_tx = self.rach2_tx.saturating_add(n);
+    }
+
+    /// Record `n` unicast control messages (saturating).
+    #[inline]
+    pub fn add_unicast_tx(&mut self, n: u64) {
+        self.unicast_tx = self.unicast_tx.saturating_add(n);
+    }
+
+    /// Record `n` successful decodes (saturating).
+    #[inline]
+    pub fn add_rx_ok(&mut self, n: u64) {
+        self.rx_ok = self.rx_ok.saturating_add(n);
+    }
+
+    /// Record `n` receptions lost to preamble collision (saturating).
+    #[inline]
+    pub fn add_rx_collision(&mut self, n: u64) {
+        self.rx_collision = self.rx_collision.saturating_add(n);
+    }
+
+    /// Record `n` receptions below the detection threshold (saturating).
+    #[inline]
+    pub fn add_rx_below_threshold(&mut self, n: u64) {
+        self.rx_below_threshold = self.rx_below_threshold.saturating_add(n);
+    }
+
+    /// Record `n` frames discarded by injected drop faults (saturating).
+    #[inline]
+    pub fn add_fault_dropped_frames(&mut self, n: u64) {
+        self.fault_dropped_frames = self.fault_dropped_frames.saturating_add(n);
+    }
+
+    /// Record `n` frames duplicated by injected faults (saturating).
+    #[inline]
+    pub fn add_fault_dup_frames(&mut self, n: u64) {
+        self.fault_dup_frames = self.fault_dup_frames.saturating_add(n);
+    }
+
     /// Merge another tally into this one (used when aggregating trials).
     /// Saturating: fleet-level aggregation across millions of trials
     /// must clamp rather than wrap at the `u64` ceiling.

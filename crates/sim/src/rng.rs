@@ -70,6 +70,38 @@ impl SplitMix64 {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
     }
+
+    /// Stateless uniform draw in `[0, 1)` keyed by `(key, domain, salt)`.
+    ///
+    /// Each argument is avalanche-mixed independently before the final
+    /// combining round, so structured inputs (slot numbers, packed device
+    /// pairs) cannot correlate across draws. The top 53 bits of the mixed
+    /// word become the mantissa, giving every representable multiple of
+    /// 2⁻⁵³ in `[0, 1)`.
+    ///
+    /// This is the workspace's canonical *order-free* draw: subsystems
+    /// that must produce the same verdict for the same logical event
+    /// regardless of evaluation order (e.g. fault injection deciding a
+    /// frame's fate) use this instead of consuming from a stream.
+    #[inline]
+    pub fn keyed_unit(key: u64, domain: u64, salt: u64) -> f64 {
+        let z = Self::mix(key ^ Self::mix(domain) ^ Self::mix(salt));
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Derive the root seed for sweep cell `(param_index, trial)` from a
+/// master seed.
+///
+/// Two mixing rounds with distinct odd multipliers per key, mirroring the
+/// [`StreamRng`] derivation discipline: the resulting seed depends only on
+/// the cell's *identity*, never on the order cells are executed in, so a
+/// sweep is bit-identical across worker counts and an individual cell can
+/// be replayed standalone.
+#[inline]
+pub fn sweep_cell_seed(master_seed: u64, param_index: u64, trial: u64) -> u64 {
+    let k0 = SplitMix64::mix(master_seed ^ param_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    SplitMix64::mix(k0 ^ trial.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
 }
 
 /// The xoshiro256** generator (Blackman & Vigna, public domain reference
@@ -180,6 +212,12 @@ pub enum StreamId {
     Experiment = 7,
     /// Fault injection (frame drop/duplication keys, churn jitter).
     Chaos = 8,
+    /// Per-device merge-phase beacon offsets (ST protocol).
+    ///
+    /// Historically derived with the raw stream id `0xBEAC`; the
+    /// discriminant is pinned to that value so the named stream is
+    /// bit-identical to every recorded run.
+    MergeBeacons = 0xBEAC,
 }
 
 /// A deterministic per-`(seed, trial, stream)` RNG.

@@ -157,17 +157,24 @@ impl TraceSink for TimelineSink {
             }
             TraceEvent::Tx { slot, codec, .. } => {
                 let row = self.row_mut(slot);
+                // Saturating like `Counters`: a replayed trace must
+                // never wrap a tally, however long the capture.
                 match codec {
-                    Codec::Rach1 => row.rach1_tx += 1,
-                    Codec::Rach2 => row.rach2_tx += 1,
+                    Codec::Rach1 => row.rach1_tx = row.rach1_tx.saturating_add(1),
+                    Codec::Rach2 => row.rach2_tx = row.rach2_tx.saturating_add(1),
                 }
             }
-            TraceEvent::RxDecode { slot, .. } => self.row_mut(slot).rx_ok += 1,
+            TraceEvent::RxDecode { slot, .. } => {
+                let row = self.row_mut(slot);
+                row.rx_ok = row.rx_ok.saturating_add(1);
+            }
             TraceEvent::RxCollision { slot, signals, .. } => {
-                self.row_mut(slot).rx_collision += signals as u64
+                let row = self.row_mut(slot);
+                row.rx_collision = row.rx_collision.saturating_add(signals as u64);
             }
             TraceEvent::RxBelowThreshold { slot, count } => {
-                self.row_mut(slot).rx_below_threshold += count
+                let row = self.row_mut(slot);
+                row.rx_below_threshold = row.rx_below_threshold.saturating_add(count);
             }
             _ => {}
         }

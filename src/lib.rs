@@ -46,6 +46,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use ffd2d_baseline as baseline;
 pub use ffd2d_chaos as chaos;
